@@ -1,0 +1,49 @@
+"""repro — Semi-Continuous Transmission for Cluster-Based Video Servers.
+
+A from-scratch Python reproduction of Irani & Venkatasubramanian
+(IEEE CLUSTER 2001): a discrete-event model of a cluster-based
+video-on-demand server with client staging buffers, the EFTF
+minimum-flow bandwidth scheduler, dynamic request migration (DRM) at
+admission, and the even/predictive/partial-predictive placement family.
+
+Quickstart::
+
+    from repro import LARGE_SYSTEM, Simulation, SimulationConfig
+    from repro.core.migration import MigrationPolicy
+
+    cfg = SimulationConfig(
+        system=LARGE_SYSTEM, theta=0.3,
+        migration=MigrationPolicy.paper_default(),
+        staging_fraction=0.2, duration=3600 * 20, seed=1,
+    )
+    print(Simulation(cfg).run())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SystemConfig
+from repro.core.migration import MigrationPolicy
+from repro.core.policies import PAPER_POLICIES, Policy
+from repro.simulation import (
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LARGE_SYSTEM",
+    "MigrationPolicy",
+    "PAPER_POLICIES",
+    "Policy",
+    "SMALL_SYSTEM",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SystemConfig",
+    "run_simulation",
+    "__version__",
+]

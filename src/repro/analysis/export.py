@@ -1,0 +1,72 @@
+"""Exporting experiment results for downstream tooling.
+
+The ASCII renderers in :mod:`repro.analysis.report` are for terminals;
+this module writes the same data as CSV so results can be re-plotted
+(gnuplot/matplotlib/spreadsheets) without re-running the sweeps.
+Columns carry the mean plus the confidence-interval bounds so error
+bars survive the round trip.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.experiments.base import SweepResult
+
+
+def sweep_to_csv(result: "SweepResult", path: Union[str, Path]) -> None:
+    """Write a :class:`~repro.experiments.base.SweepResult` as CSV.
+
+    Layout: one row per x value; per curve three columns
+    ``<label>``, ``<label>_ci_low``, ``<label>_ci_high``.
+    """
+    labels = list(result.curves)
+    header = [result.x_label]
+    for label in labels:
+        header.extend([label, f"{label}_ci_low", f"{label}_ci_high"])
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for i, x in enumerate(result.x_values):
+            row = [f"{x:.6g}"]
+            for label in labels:
+                stats = result.curves[label][i]
+                row.extend(
+                    [
+                        f"{stats.mean:.6f}",
+                        f"{stats.ci_low:.6f}",
+                        f"{stats.ci_high:.6f}",
+                    ]
+                )
+            writer.writerow(row)
+
+
+def load_sweep_csv(path: Union[str, Path]) -> dict:
+    """Read back a file written by :func:`sweep_to_csv`.
+
+    Returns ``{"x_label", "x_values", "curves": {label: [means]}}`` —
+    enough for plotting; CI bounds are under ``curves_ci``.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        rows = [row for row in reader]
+    x_label = header[0]
+    labels = [h for h in header[1:] if not h.endswith(("_ci_low", "_ci_high"))]
+    out = {
+        "x_label": x_label,
+        "x_values": [float(r[0]) for r in rows],
+        "curves": {label: [] for label in labels},
+        "curves_ci": {label: [] for label in labels},
+    }
+    for row in rows:
+        for j, label in enumerate(labels):
+            base = 1 + 3 * j
+            out["curves"][label].append(float(row[base]))
+            out["curves_ci"][label].append(
+                (float(row[base + 1]), float(row[base + 2]))
+            )
+    return out

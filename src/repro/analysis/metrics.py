@@ -1,0 +1,180 @@
+"""In-simulation metrics: the Section 4.1 measurement model.
+
+"We measure the performance of the system in terms of bandwidth
+utilization and request rejections.  That is, we sum the size of all
+transmissions and divide that number by the total amount of data which
+could be sent if all servers were sending data at the maximum bandwidth
+for the duration of the simulation."
+
+:class:`SimulationMetrics` is the concrete sink the transmission layer
+reports into; :class:`MetricsSink` is the minimal protocol, so tests
+can plug in recording fakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol
+
+
+class MetricsSink(Protocol):
+    """What the transmission layer needs from a metrics object."""
+
+    def record_bytes(
+        self, server_id: Optional[int], megabits: float, now: float
+    ) -> None:
+        """Attribute *megabits* of transfer to *server_id* at time *now*."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class SimulationMetrics:
+    """Counters for one simulation run.
+
+    All byte quantities are megabits.  ``bytes_per_server`` attributes
+    transfers to the server that performed them (migrated streams split
+    naturally across their hosts).
+    """
+
+    total_megabits: float = 0.0
+    bytes_per_server: Dict[int, float] = field(default_factory=dict)
+
+    arrivals: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    rejected_no_replica: int = 0
+
+    migrations: int = 0
+    migration_attempts: int = 0
+    migration_chains_found: int = 0
+
+    finished: int = 0
+    dropped: int = 0
+
+    #: Underrun episodes (a viewer's buffer emptied while transmission
+    #: lagged playback) — only reachable under intermittent allocators
+    #: with overbooked admission.
+    underruns: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (used at the end of a warmup window so
+        measurements cover only the steady state)."""
+        self.total_megabits = 0.0
+        self.bytes_per_server = {}
+        self.arrivals = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.rejected_no_replica = 0
+        self.migrations = 0
+        self.migration_attempts = 0
+        self.migration_chains_found = 0
+        self.finished = 0
+        self.dropped = 0
+        self.underruns = 0
+
+    # ------------------------------------------------------------------
+    # Transfer accounting
+    # ------------------------------------------------------------------
+    def record_bytes(
+        self, server_id: Optional[int], megabits: float, now: float
+    ) -> None:
+        """MetricsSink implementation (``now`` kept for tracing hooks)."""
+        if megabits < 0:
+            raise ValueError(f"negative transfer: {megabits}")
+        self.total_megabits += megabits
+        if server_id is not None:
+            self.bytes_per_server[server_id] = (
+                self.bytes_per_server.get(server_id, 0.0) + megabits
+            )
+
+    # ------------------------------------------------------------------
+    # Admission accounting
+    # ------------------------------------------------------------------
+    def record_arrival(self) -> None:
+        self.arrivals += 1
+
+    def record_accept(self) -> None:
+        self.accepted += 1
+
+    def record_reject(self, no_replica: bool = False) -> None:
+        self.rejected += 1
+        if no_replica:
+            self.rejected_no_replica += 1
+
+    def record_migration(self, chain_length: int) -> None:
+        """A successful DRM chain of the given length executed."""
+        self.migrations += chain_length
+        self.migration_chains_found += 1
+
+    def record_migration_attempt(self) -> None:
+        self.migration_attempts += 1
+
+    def record_underrun(self) -> None:
+        """A stream's client buffer emptied while starved of bandwidth."""
+        self.underruns += 1
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+    def utilization(self, total_bandwidth: float, duration: float) -> float:
+        """Data sent over data sendable (Section 4.1's definition)."""
+        if total_bandwidth <= 0 or duration <= 0:
+            raise ValueError(
+                f"need positive capacity and duration, got "
+                f"{total_bandwidth}, {duration}"
+            )
+        return self.total_megabits / (total_bandwidth * duration)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of arrivals admitted (1.0 when nothing arrived)."""
+        return self.accepted / self.arrivals if self.arrivals else 1.0
+
+    @property
+    def rejection_ratio(self) -> float:
+        return self.rejected / self.arrivals if self.arrivals else 0.0
+
+    def server_utilization(
+        self, server_id: int, bandwidth: float, duration: float
+    ) -> float:
+        """Per-server utilization."""
+        sent = self.bytes_per_server.get(server_id, 0.0)
+        return sent / (bandwidth * duration)
+
+    def load_imbalance(
+        self, bandwidths: Dict[int, float], duration: float
+    ) -> float:
+        """Coefficient of variation of per-server utilization.
+
+        0 means perfectly balanced load; rises as some servers carry
+        disproportionate traffic — the quantity the §4.6 heterogeneity
+        discussion is implicitly about ("variabilities are spread out
+        over a larger number of servers").
+        """
+        if not bandwidths:
+            raise ValueError("need at least one server")
+        utils = [
+            self.server_utilization(sid, bw, duration)
+            for sid, bw in bandwidths.items()
+        ]
+        n = len(utils)
+        mean = sum(utils) / n
+        if mean == 0.0:
+            return 0.0
+        var = sum((u - mean) ** 2 for u in utils) / n
+        return (var ** 0.5) / mean
+
+    def sanity_check(self) -> None:
+        """Internal-consistency assertions (used by tests and at the end
+        of every run)."""
+        if self.accepted + self.rejected != self.arrivals:
+            raise AssertionError(
+                f"accepted({self.accepted}) + rejected({self.rejected}) "
+                f"!= arrivals({self.arrivals})"
+            )
+        per_server_sum = sum(self.bytes_per_server.values())
+        if abs(per_server_sum - self.total_megabits) > 1e-3:
+            raise AssertionError(
+                f"per-server bytes {per_server_sum} != total "
+                f"{self.total_megabits}"
+            )

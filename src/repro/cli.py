@@ -1,0 +1,312 @@
+"""Command-line interface: ``repro-vod`` / ``python -m repro``.
+
+Subcommands regenerate each reproduced artifact::
+
+    repro-vod fig4 --system large --scale 0.02
+    repro-vod fig5 --system small
+    repro-vod fig6
+    repro-vod fig7 --system large --policies P1,P4,P8
+    repro-vod svbr | partial | het | ablation       # full-version extras
+    repro-vod replication | burst | vcr | mix       # extension studies
+    repro-vod all --outdir results                  # everything + CSVs
+    repro-vod run --system small --theta 0.3 --staging 0.2 --migrate
+
+``--scale`` (or REPRO_SCALE) trades fidelity for speed; 1.0 is the
+paper's 5 trials × 1000 h.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SystemConfig
+from repro.core.migration import MigrationPolicy
+from repro.experiments import ablation as ablation_mod
+from repro.experiments import client_mix as mix_mod
+from repro.experiments import dynamic_replication as dr_mod
+from repro.experiments import fig4_drm, fig5_staging, fig7_policies
+from repro.experiments import interactivity_vcr as vcr_mod
+from repro.experiments import intermittent_burst as burst_mod
+from repro.experiments import heterogeneity as het_mod
+from repro.experiments import partial_predictive as pp_mod
+from repro.experiments import svbr as svbr_mod
+from repro.simulation import SimulationConfig, run_simulation
+from repro.units import hours
+
+SYSTEMS = {"small": SMALL_SYSTEM, "large": LARGE_SYSTEM}
+
+
+def _system(name: str) -> SystemConfig:
+    try:
+        return SYSTEMS[name]
+    except KeyError:
+        raise SystemExit(f"unknown system {name!r}; choose from {sorted(SYSTEMS)}")
+
+
+def _progress(quiet: bool):
+    return None if quiet else print
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scale", type=float, default=None,
+        help="fidelity factor (1.0 = paper's 5 trials x 1000h; "
+             "default from REPRO_SCALE or 0.01)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="root random seed")
+    p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vod",
+        description="Semi-continuous transmission for cluster-based video "
+                    "servers (CLUSTER 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, helptext in (
+        ("fig4", "effect of dynamic request migration (Figure 4)"),
+        ("fig5", "effect of client staging (Figure 5)"),
+        ("fig7", "policy comparison P1-P8 (Figure 7)"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--system", default="large", choices=sorted(SYSTEMS))
+        if name == "fig7":
+            p.add_argument(
+                "--policies", default=None,
+                help="comma-separated subset, e.g. P1,P4,P8",
+            )
+        _add_common(p)
+
+    sub.add_parser("fig6", help="print the policy matrix (Figure 6)")
+
+    p = sub.add_parser("svbr", help="utilization vs SVBR + Erlang-B (EXT-SVBR)")
+    _add_common(p)
+
+    p = sub.add_parser("partial", help="partial predictive placement (EXT-PP)")
+    _add_common(p)
+
+    p = sub.add_parser("het", help="resource heterogeneity (EXT-HET)")
+    _add_common(p)
+
+    p = sub.add_parser("ablation", help="spare-bandwidth scheduler ablation")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "replication", help="dynamic replication vs static placement (EXT-DR)"
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "burst", help="intermittent scheduling under bursty demand (EXT-INT)"
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "vcr", help="viewer pause/resume interactivity (EXT-VCR)"
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "mix", help="heterogeneous client capabilities (EXT-MIX)"
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "all",
+        help="regenerate every artifact; write tables and CSVs to --outdir",
+    )
+    p.add_argument("--outdir", default="results", help="output directory")
+    _add_common(p)
+
+    p = sub.add_parser("run", help="one ad-hoc simulation")
+    p.add_argument("--system", default="small", choices=sorted(SYSTEMS))
+    p.add_argument("--theta", type=float, default=0.27)
+    p.add_argument("--placement", default="even")
+    p.add_argument("--staging", type=float, default=0.0,
+                   help="staging buffer fraction of mean video size")
+    p.add_argument("--migrate", action="store_true", help="enable DRM")
+    p.add_argument("--hours", type=float, default=20.0, dest="sim_hours")
+    p.add_argument("--warmup-hours", type=float, default=2.0)
+    p.add_argument("--load", type=float, default=1.0)
+    p.add_argument("--scheduler", default="eftf")
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _run_all(args) -> int:
+    """Regenerate every artifact; write tables + CSVs to ``--outdir``."""
+    import pathlib
+
+    from repro.analysis.export import sweep_to_csv
+    from repro.experiments.base import SweepResult
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    progress = _progress(args.quiet)
+    scale, seed = args.scale, args.seed
+
+    def sweep_panels(runner, systems, stem, title):
+        for system in systems:
+            result = runner(system=system, scale=scale, seed=seed,
+                            progress=progress)
+            yield f"{stem}_{system.name}", result, f"{title} ({system.name})"
+
+    jobs = []
+    jobs.extend(sweep_panels(
+        fig4_drm.run_fig4, (LARGE_SYSTEM, SMALL_SYSTEM), "fig4", "Figure 4"))
+    jobs.extend(sweep_panels(
+        fig5_staging.run_fig5, (LARGE_SYSTEM, SMALL_SYSTEM), "fig5",
+        "Figure 5"))
+    jobs.extend(sweep_panels(
+        fig7_policies.run_fig7, (LARGE_SYSTEM, SMALL_SYSTEM), "fig7",
+        "Figure 7"))
+    jobs.append(("ext_pp", pp_mod.run_partial_predictive(
+        scale=scale, seed=seed, progress=progress), "EXT-PP"))
+    jobs.append(("ext_abl", ablation_mod.run_ablation(
+        scale=scale, seed=seed, progress=progress), "EXT-ABL"))
+    jobs.append(("ext_dr", dr_mod.run_dynamic_replication(
+        scale=scale, seed=seed, progress=progress), "EXT-DR"))
+    jobs.append(("ext_vcr", vcr_mod.run_interactivity(
+        scale=scale, seed=seed, progress=progress), "EXT-VCR"))
+    jobs.append(("ext_mix", mix_mod.run_client_mix_series(
+        scale=scale, seed=seed, progress=progress), "EXT-MIX"))
+
+    report_path = outdir / "all_artifacts.txt"
+    with open(report_path, "w") as fh:
+        fh.write(fig7_policies.policy_matrix_table() + "\n\n")
+        for stem, result, title in jobs:
+            text = result.render(title=title)
+            fh.write(text + "\n\n")
+            if isinstance(result, SweepResult):
+                sweep_to_csv(result, outdir / f"{stem}.csv")
+            if progress is not None:
+                print()
+                print(text)
+                print()
+        # Table-shaped artifacts without SweepResult structure:
+        svbr_result = svbr_mod.run_svbr(
+            scale=scale, seed=seed, progress=progress)
+        fh.write(svbr_mod.render_svbr(svbr_result) + "\n\n")
+        het_result = het_mod.run_heterogeneity(
+            scale=scale, seed=seed, progress=progress)
+        fh.write(het_mod.render_heterogeneity(het_result) + "\n\n")
+        burst_result = burst_mod.run_intermittent_burst(
+            scale=scale, seed=seed, progress=progress)
+        fh.write(burst_mod.render_intermittent_burst(burst_result) + "\n")
+    print(f"wrote {report_path} (+ per-figure CSVs) in {outdir}/")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig6":
+        print(fig7_policies.policy_matrix_table())
+        return 0
+
+    if args.command == "run":
+        config = SimulationConfig(
+            system=_system(args.system),
+            theta=args.theta,
+            placement=args.placement,
+            migration=(
+                MigrationPolicy.paper_default()
+                if args.migrate
+                else MigrationPolicy.disabled()
+            ),
+            staging_fraction=args.staging,
+            scheduler=args.scheduler,
+            duration=hours(args.sim_hours),
+            warmup=hours(args.warmup_hours),
+            load=args.load,
+            seed=args.seed,
+        )
+        result = run_simulation(config)
+        print(result)
+        print(
+            f"  arrivals={result.arrivals} accepted={result.accepted} "
+            f"rejected={result.rejected} migrations={result.migrations} "
+            f"events={result.events_fired}"
+        )
+        return 0
+
+    progress = _progress(args.quiet)
+    if args.command == "all":
+        return _run_all(args)
+    if args.command == "fig4":
+        result = fig4_drm.run_fig4(
+            system=_system(args.system), scale=args.scale,
+            seed=args.seed, progress=progress,
+        )
+        print(result.render(title=f"Figure 4 ({args.system} system)"))
+    elif args.command == "fig5":
+        result = fig5_staging.run_fig5(
+            system=_system(args.system), scale=args.scale,
+            seed=args.seed, progress=progress,
+        )
+        print(result.render(title=f"Figure 5 ({args.system} system)"))
+    elif args.command == "fig7":
+        policies = args.policies.split(",") if args.policies else None
+        result = fig7_policies.run_fig7(
+            system=_system(args.system), policies=policies,
+            scale=args.scale, seed=args.seed, progress=progress,
+        )
+        print(fig7_policies.policy_matrix_table())
+        print()
+        print(result.render(title=f"Figure 7 ({args.system} system)"))
+    elif args.command == "svbr":
+        result = svbr_mod.run_svbr(
+            scale=args.scale, seed=args.seed, progress=progress
+        )
+        print(svbr_mod.render_svbr(result))
+    elif args.command == "partial":
+        result = pp_mod.run_partial_predictive(
+            scale=args.scale, seed=args.seed, progress=progress
+        )
+        print(result.render(title="EXT-PP: placement sophistication"))
+    elif args.command == "het":
+        result = het_mod.run_heterogeneity(
+            scale=args.scale, seed=args.seed, progress=progress
+        )
+        print(het_mod.render_heterogeneity(result))
+    elif args.command == "ablation":
+        result = ablation_mod.run_ablation(
+            scale=args.scale, seed=args.seed, progress=progress
+        )
+        print(result.render(title="EXT-ABL: scheduler ablation"))
+    elif args.command == "replication":
+        result = dr_mod.run_dynamic_replication(
+            scale=args.scale, seed=args.seed, progress=progress
+        )
+        print(result.render(
+            title="EXT-DR: dynamic replication vs static placement"
+        ))
+    elif args.command == "burst":
+        result = burst_mod.run_intermittent_burst(
+            scale=args.scale, seed=args.seed, progress=progress
+        )
+        print(burst_mod.render_intermittent_burst(result))
+    elif args.command == "vcr":
+        result = vcr_mod.run_interactivity(
+            scale=args.scale, seed=args.seed, progress=progress
+        )
+        print(result.render(title="EXT-VCR: viewer pause/resume interactivity"))
+    elif args.command == "mix":
+        result = mix_mod.run_client_mix_series(
+            scale=args.scale, seed=args.seed, progress=progress
+        )
+        print(result.render(
+            title="EXT-MIX: partial deployment of client staging"
+        ))
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

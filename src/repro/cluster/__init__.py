@@ -1,0 +1,43 @@
+"""Cluster-based video server model (paper Section 2).
+
+A cluster is a **distribution controller** in front of independent
+**data servers** with private (non-shared) storage.  Clients have a
+disk-backed **staging buffer** and a bounded receive link.
+
+* :mod:`repro.cluster.client` — client capability profile.
+* :mod:`repro.cluster.request` — the per-stream fluid-flow state machine
+  (bytes sent, buffer occupancy, projected finish).
+* :mod:`repro.cluster.server` — a data server: outbound bandwidth, disk
+  capacity, video holdings and the active stream set.
+* :mod:`repro.cluster.controller` — the distribution controller:
+  admission, assignment, migration hooks, metrics.
+* :mod:`repro.cluster.system` — the paper's Figure 3 system presets and
+  heterogeneous variants.
+"""
+
+from repro.cluster.client import ClientProfile, staging_capacity
+from repro.cluster.controller import DistributionController
+from repro.cluster.request import Request, RequestState
+from repro.cluster.server import DataServer, StorageError
+from repro.cluster.system import (
+    LARGE_SYSTEM,
+    SMALL_SYSTEM,
+    SystemConfig,
+    heterogeneous_bandwidth,
+    heterogeneous_storage,
+)
+
+__all__ = [
+    "ClientProfile",
+    "DataServer",
+    "DistributionController",
+    "LARGE_SYSTEM",
+    "Request",
+    "RequestState",
+    "SMALL_SYSTEM",
+    "StorageError",
+    "SystemConfig",
+    "heterogeneous_bandwidth",
+    "heterogeneous_storage",
+    "staging_capacity",
+]

@@ -1,0 +1,188 @@
+"""A data server: outbound link, private disk, holdings, active streams.
+
+Servers do **not** share storage (Section 2); a request can only be
+served by a server that holds a replica of its video.  The outbound
+link is the unit of admission: under the minimum-flow discipline a
+server can host an unfinished stream only if the sum of view bandwidths
+of its unfinished streams plus the newcomer's fits in the link
+(Section 3.3: "a new request can be allocated to a given server if and
+only if …").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.cluster.request import EPS_MB, Request
+from repro.workload.catalog import Video
+
+
+class StorageError(RuntimeError):
+    """Raised when a replica does not fit on the server's disk."""
+
+
+class DataServer:
+    """One cluster node.
+
+    Attributes:
+        server_id: index within the cluster.
+        bandwidth: outbound link capacity, Mb/s.
+        disk_capacity: private storage, Mb.
+        holdings: set of video ids with a local replica.
+        active: unfinished requests currently assigned here, keyed by
+            request id (insertion-ordered for determinism).
+        up: False while the server has failed.
+    """
+
+    def __init__(
+        self, server_id: int, bandwidth: float, disk_capacity: float
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if disk_capacity < 0:
+            raise ValueError(
+                f"disk capacity must be >= 0, got {disk_capacity}"
+            )
+        self.server_id = int(server_id)
+        self.bandwidth = float(bandwidth)
+        self.disk_capacity = float(disk_capacity)
+        self.holdings: Set[int] = set()
+        self.storage_used = 0.0
+        self.active: Dict[int, Request] = {}
+        self.up = True
+        # Incrementally maintained sum of active view bandwidths; the
+        # admission test runs per arrival per candidate server, so the
+        # O(n) recomputation was a measured hot spot.
+        self._reserved = 0.0
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def store_replica(self, video: Video) -> None:
+        """Place a replica of *video* on this server's disk.
+
+        Raises:
+            StorageError: when the disk cannot hold another copy.
+        """
+        if video.video_id in self.holdings:
+            return  # idempotent: at most one replica per server
+        if self.storage_used + video.size > self.disk_capacity + EPS_MB:
+            raise StorageError(
+                f"server {self.server_id}: replica of video "
+                f"{video.video_id} ({video.size:.0f} Mb) exceeds free space "
+                f"({self.disk_capacity - self.storage_used:.0f} Mb)"
+            )
+        self.holdings.add(video.video_id)
+        self.storage_used += video.size
+
+    def drop_replica(self, video: Video) -> None:
+        """Remove a replica (used by dynamic placement extensions)."""
+        if video.video_id in self.holdings:
+            self.holdings.remove(video.video_id)
+            self.storage_used -= video.size
+
+    def holds(self, video_id: int) -> bool:
+        """True when a replica of *video_id* is on local disk."""
+        return video_id in self.holdings
+
+    @property
+    def storage_free(self) -> float:
+        """Unused disk, Mb."""
+        return max(0.0, self.disk_capacity - self.storage_used)
+
+    def can_store(self, video: Video) -> bool:
+        """True if a replica of *video* would fit (and isn't already here)."""
+        if video.video_id in self.holdings:
+            return False
+        return self.storage_used + video.size <= self.disk_capacity + EPS_MB
+
+    # ------------------------------------------------------------------
+    # Bandwidth / admission
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        """Number of unfinished streams assigned here."""
+        return len(self.active)
+
+    @property
+    def reserved_bandwidth(self) -> float:
+        """Sum of view bandwidths of unfinished streams (the minimum-flow
+        floor), Mb/s.  Maintained incrementally by attach/detach."""
+        return self._reserved
+
+    @property
+    def spare_bandwidth(self) -> float:
+        """Link capacity beyond the minimum-flow floor, Mb/s."""
+        return max(0.0, self.bandwidth - self.reserved_bandwidth)
+
+    def stream_slots(self, view_bandwidth: float) -> int:
+        """Server-to-view bandwidth ratio (SVBR): concurrent streams this
+        link sustains at the given view rate."""
+        return int(self.bandwidth / view_bandwidth + 1e-9)
+
+    def has_slot_for(self, request: Request) -> bool:
+        """Minimum-flow admission test for *request* on this server."""
+        if not self.up:
+            return False
+        return (
+            self.reserved_bandwidth + request.view_bandwidth
+            <= self.bandwidth + EPS_MB
+        )
+
+    # ------------------------------------------------------------------
+    # Active set management (called by the transmission manager)
+    # ------------------------------------------------------------------
+    def attach(self, request: Request) -> None:
+        """Add an unfinished stream to this server."""
+        if request.request_id in self.active:
+            raise ValueError(
+                f"request {request.request_id} already on server {self.server_id}"
+            )
+        if not self.holds(request.video.video_id):
+            raise ValueError(
+                f"server {self.server_id} holds no replica of video "
+                f"{request.video.video_id}"
+            )
+        self.active[request.request_id] = request
+        self._reserved += request.view_bandwidth
+        request.server_id = self.server_id
+
+    def detach(self, request: Request) -> None:
+        """Remove a stream (finished, migrated away, or dropped)."""
+        if self.active.pop(request.request_id, None) is None:
+            raise ValueError(
+                f"request {request.request_id} not on server {self.server_id}"
+            )
+        self._reserved -= request.view_bandwidth
+        if self._reserved < 0.0:  # float guard; exact for uniform rates
+            self._reserved = 0.0
+
+    def iter_active(self) -> Iterable[Request]:
+        """Unfinished streams in deterministic (insertion) order."""
+        return self.active.values()
+
+    def migratable_requests(self) -> List[Request]:
+        """Streams that could in principle move (unfinished, attached)."""
+        return list(self.active.values())
+
+    # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+    def fail(self) -> List[Request]:
+        """Take the server down; returns (and detaches) its streams."""
+        self.up = False
+        orphans = list(self.active.values())
+        self.active.clear()
+        self._reserved = 0.0
+        return orphans
+
+    def restore(self) -> None:
+        """Bring a failed server back (holdings survive the outage)."""
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DataServer {self.server_id} bw={self.bandwidth:.0f}Mb/s "
+            f"active={self.active_count} holdings={len(self.holdings)} "
+            f"{'up' if self.up else 'DOWN'}>"
+        )

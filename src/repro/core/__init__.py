@@ -1,0 +1,45 @@
+"""The paper's primary contribution: semi-continuous transmission.
+
+* :mod:`repro.core.schedulers` — minimum-flow bandwidth allocators,
+  chiefly **Earliest Finishing Time First** (Figure 2, Theorem 1), plus
+  ablation alternatives.
+* :mod:`repro.core.transmission` — the per-server fluid-flow event
+  machinery that drives an allocator on the simulation engine.
+* :mod:`repro.core.admission` — the admission controller: least-loaded
+  replica-holder assignment with a DRM fallback.
+* :mod:`repro.core.migration` — Dynamic Request Migration: chain search
+  with chain-length and hops-per-request bounds (Section 3.1).
+* :mod:`repro.core.policies` — the Figure 6 policy matrix P1–P8.
+* :mod:`repro.core.failover` — node failure handling via DRM
+  (Section 3.1's fault-tolerance observation).
+"""
+
+from repro.core.admission import AdmissionController, AdmissionOutcome
+from repro.core.migration import MigrationPolicy, MigrationStep, find_migration_chain
+from repro.core.policies import PAPER_POLICIES, Policy
+from repro.core.schedulers import (
+    ALLOCATORS,
+    BandwidthAllocator,
+    EFTFAllocator,
+    LFTFAllocator,
+    NoWorkaheadAllocator,
+    ProportionalShareAllocator,
+)
+from repro.core.transmission import TransmissionManager
+
+__all__ = [
+    "ALLOCATORS",
+    "AdmissionController",
+    "AdmissionOutcome",
+    "BandwidthAllocator",
+    "EFTFAllocator",
+    "LFTFAllocator",
+    "MigrationPolicy",
+    "MigrationStep",
+    "NoWorkaheadAllocator",
+    "PAPER_POLICIES",
+    "Policy",
+    "ProportionalShareAllocator",
+    "TransmissionManager",
+    "find_migration_chain",
+]

@@ -1,0 +1,176 @@
+"""Admission control: least-loaded assignment with a DRM fallback.
+
+Section 3.2: "The request assignment algorithm assigns each newly
+arrived request to the server which has a copy of the requested video
+and has the fewest current requests.  A very limited amount of request
+migration is attempted if all servers which hold a copy of the
+requested video are full.  If this fails, then the request is not
+accepted."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.analysis.metrics import SimulationMetrics
+from repro.cluster.request import Request
+from repro.cluster.server import DataServer
+from repro.core.migration import (
+    MigrationPolicy,
+    execute_chain,
+    find_migration_chain,
+)
+from repro.core.transmission import TransmissionManager
+from repro.placement.base import PlacementMap
+
+
+class AdmissionOutcome(enum.Enum):
+    """Result of one admission decision."""
+
+    ACCEPTED = "accepted"
+    ACCEPTED_WITH_MIGRATION = "accepted_with_migration"
+    REJECTED = "rejected"
+    REJECTED_NO_REPLICA = "rejected_no_replica"
+
+    @property
+    def accepted(self) -> bool:
+        return self in (
+            AdmissionOutcome.ACCEPTED,
+            AdmissionOutcome.ACCEPTED_WITH_MIGRATION,
+        )
+
+
+class AdmissionController:
+    """Decides and executes admission for each arrival.
+
+    Args:
+        servers: cluster nodes keyed by id.
+        managers: one :class:`TransmissionManager` per server id.
+        placement: the static replica map.
+        migration_policy: DRM configuration.
+        metrics: run counters.
+        mode: ``"minflow"`` (default) admits while the sum of view
+            bandwidths fits the link — the paper's admission test.
+            ``"overbook"`` counts only streams with less than
+            ``park_seconds`` of buffered playback, letting an
+            intermittent allocator carry more viewers than the SVBR
+            (see :mod:`repro.core.intermittent`).
+        park_seconds: buffered-playback threshold for ``"overbook"``;
+            should match the intermittent allocator's ``park_seconds``.
+    """
+
+    def __init__(
+        self,
+        servers: Dict[int, DataServer],
+        managers: Dict[int, TransmissionManager],
+        placement: PlacementMap,
+        migration_policy: MigrationPolicy,
+        metrics: SimulationMetrics,
+        mode: str = "minflow",
+        park_seconds: float = 120.0,
+        overbook_factor: float = 3.0,
+    ) -> None:
+        if mode not in ("minflow", "overbook"):
+            raise ValueError(
+                f"admission mode must be 'minflow' or 'overbook', got {mode!r}"
+            )
+        if overbook_factor < 1.0:
+            raise ValueError(
+                f"overbook_factor must be >= 1, got {overbook_factor}"
+            )
+        self.servers = servers
+        self.managers = managers
+        self.placement = placement
+        self.migration_policy = migration_policy
+        self.metrics = metrics
+        self.mode = mode
+        self.park_seconds = float(park_seconds)
+        self.overbook_factor = float(overbook_factor)
+
+    # ------------------------------------------------------------------
+    def _has_slot(self, server: DataServer, request: Request, now: float) -> bool:
+        """The admission test, by mode."""
+        if self.mode == "minflow":
+            return server.has_slot_for(request)
+        if not server.up:
+            return False
+        # Hard population cap: even parked viewers cost scheduler work
+        # and will eventually need the link back.
+        slots = server.stream_slots(request.view_bandwidth)
+        if server.active_count + 1 > slots * self.overbook_factor:
+            return False
+        # Overbook: parked streams (enough banked playback) don't
+        # reserve link capacity.  State is read without mutating — the
+        # streams may not be synced to `now` yet.
+        reserved = 0.0
+        for r in server.iter_active():
+            vb = r.view_bandwidth
+            sent = r.bytes_sent + r.rate * (now - r.last_sync)
+            played_until = min(now, r.playback_pause_time)
+            buffered = sent - (played_until - r.playback_start) * vb
+            if r.playback_pause_time > now and buffered < self.park_seconds * vb:
+                reserved += vb
+        return reserved + request.view_bandwidth <= server.bandwidth + 1e-6
+
+    # ------------------------------------------------------------------
+    def candidate_holders(self, video_id: int) -> List[DataServer]:
+        """Live servers holding a replica of *video_id*."""
+        return [
+            self.servers[sid]
+            for sid in self.placement.holders(video_id)
+            if sid in self.servers and self.servers[sid].up
+        ]
+
+    def submit(self, request: Request, now: float) -> AdmissionOutcome:
+        """Run the full admission pipeline for *request*."""
+        self.metrics.record_arrival()
+        holders = self.candidate_holders(request.video.video_id)
+        if not holders:
+            request.mark_rejected()
+            self.metrics.record_reject(no_replica=True)
+            return AdmissionOutcome.REJECTED_NO_REPLICA
+
+        with_slot = [s for s in holders if self._has_slot(s, request, now)]
+        if with_slot:
+            # "the server which … has the fewest current requests"
+            target = min(with_slot, key=lambda s: (s.active_count, s.server_id))
+            self.managers[target.server_id].admit(request, now)
+            self.metrics.record_accept()
+            return AdmissionOutcome.ACCEPTED
+
+        if self.migration_policy.enabled:
+            self.metrics.record_migration_attempt()
+            chain = find_migration_chain(
+                request.video.video_id,
+                self.servers,
+                self.placement,
+                self.migration_policy,
+                now,
+                slot_test=lambda s, r: self._has_slot(s, r, now),
+            )
+            if chain is not None:
+                execute_chain(chain, self.managers, self.migration_policy, now)
+                freed_id = chain[-1].source_id
+                freed = self.servers[freed_id]
+                if not self._has_slot(freed, request, now):
+                    # Only reachable in overbook mode: displacing a
+                    # *parked* stream does not reduce the non-parked
+                    # reserve, so the chain may not help the newcomer.
+                    # The moves themselves are harmless; reject.
+                    if self.mode == "minflow":  # pragma: no cover
+                        raise RuntimeError(
+                            f"migration chain did not free a slot on "
+                            f"server {freed_id}"
+                        )
+                    request.mark_rejected()
+                    self.metrics.record_reject()
+                    return AdmissionOutcome.REJECTED
+                self.managers[freed_id].admit(request, now)
+                self.metrics.record_accept()
+                self.metrics.record_migration(len(chain))
+                return AdmissionOutcome.ACCEPTED_WITH_MIGRATION
+
+        request.mark_rejected()
+        self.metrics.record_reject()
+        return AdmissionOutcome.REJECTED

@@ -1,0 +1,138 @@
+"""Node failure handling via DRM (Section 3.1's fault-tolerance remark).
+
+"Dynamic request migration can also be used to engineer a limited
+degree of fault tolerance into the server since the ability to
+dynamically switch servers for a single stream can help deal with node
+server failures."
+
+When a server fails, every stream it was serving tries to move to
+another replica holder (direct move first, then a bounded DRM chain to
+make room).  Streams with no reachable slot are dropped.  Hop limits do
+not apply to failover moves — losing the stream is strictly worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import SimulationMetrics
+from repro.cluster.request import Request
+from repro.cluster.server import DataServer
+from repro.core.migration import (
+    MigrationPolicy,
+    execute_chain,
+    find_migration_chain,
+)
+from repro.core.transmission import TransmissionManager
+from repro.placement.base import PlacementMap
+from repro.sim.engine import Engine
+
+
+@dataclass
+class FailoverReport:
+    """Outcome of one server failure."""
+
+    server_id: int
+    time: float
+    relocated: List[int] = field(default_factory=list)  #: request ids saved
+    dropped: List[int] = field(default_factory=list)    #: request ids lost
+
+    @property
+    def survival_ratio(self) -> float:
+        total = len(self.relocated) + len(self.dropped)
+        return len(self.relocated) / total if total else 1.0
+
+
+class FailoverManager:
+    """Fail and restore servers, migrating orphaned streams.
+
+    Args:
+        engine: simulation engine (for the clock).
+        servers: cluster nodes by id.
+        managers: transmission managers by server id.
+        placement: the replica map (holdings survive a failure — the
+            disk is intact, the node is just down).
+        metrics: run counters (dropped streams are recorded).
+        rescue_policy: chain bounds used when making room for orphans;
+            defaults to chain length 1 with unlimited hops.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        servers: Dict[int, DataServer],
+        managers: Dict[int, TransmissionManager],
+        placement: PlacementMap,
+        metrics: SimulationMetrics,
+        rescue_policy: Optional[MigrationPolicy] = None,
+    ) -> None:
+        self.engine = engine
+        self.servers = servers
+        self.managers = managers
+        self.placement = placement
+        self.metrics = metrics
+        self.rescue_policy = rescue_policy or MigrationPolicy.unlimited_hops()
+        self.reports: List[FailoverReport] = []
+
+    # ------------------------------------------------------------------
+    def fail_server(self, server_id: int) -> FailoverReport:
+        """Take *server_id* down now and relocate its streams."""
+        now = self.engine.now
+        server = self.servers[server_id]
+        manager = self.managers[server_id]
+        # Account for everything transmitted up to the failure instant.
+        manager.flush(now)
+        orphans = server.fail()
+        manager.deactivate(now)
+        report = FailoverReport(server_id=server_id, time=now)
+        for request in orphans:
+            request.rate = 0.0
+            if self._relocate(request, now):
+                report.relocated.append(request.request_id)
+            else:
+                request.mark_dropped(now)
+                self.metrics.dropped += 1
+                report.dropped.append(request.request_id)
+        self.reports.append(report)
+        return report
+
+    def restore_server(self, server_id: int) -> None:
+        """Bring a failed server back into admission rotation."""
+        server = self.servers[server_id]
+        server.restore()
+        self.managers[server_id].reallocate(self.engine.now)
+
+    # ------------------------------------------------------------------
+    def _relocate(self, request: Request, now: float) -> bool:
+        """Find the orphan a new home: direct slot, else a DRM chain."""
+        video_id = request.video.video_id
+        holders = [
+            self.servers[sid]
+            for sid in self.placement.holders(video_id)
+            if sid in self.servers and self.servers[sid].up
+        ]
+        holders.sort(key=lambda s: (s.active_count, s.server_id))
+        for target in holders:
+            if target.has_slot_for(request):
+                self._move(request, target.server_id, now)
+                return True
+        chain = find_migration_chain(
+            video_id, self.servers, self.placement, self.rescue_policy, now
+        )
+        if chain is not None:
+            execute_chain(chain, self.managers, self.rescue_policy, now)
+            freed = self.servers[chain[-1].source_id]
+            if freed.has_slot_for(request):
+                self._move(request, freed.server_id, now)
+                self.metrics.record_migration(len(chain))
+                return True
+        return False
+
+    def _move(self, request: Request, target_id: int, now: float) -> None:
+        """Attach an already-detached orphan to *target_id*."""
+        if self.rescue_policy.switch_delay > 0.0:
+            request.paused_until = now + self.rescue_policy.switch_delay
+        request.hops += 1
+        self.metrics.migrations += 1
+        self.managers[target_id].migrate_in(request, now)

@@ -1,0 +1,233 @@
+"""Dynamic Request Migration (DRM): the Section 3.1 admission fallback.
+
+When every replica holder of a newly requested video is saturated, a
+holder may evict one of its *active* streams to another server that
+holds that stream's video, freeing a minimum-flow slot for the
+newcomer.  Two knobs bound the machinery (and the paper's result is
+that the smallest settings already capture almost all the benefit):
+
+* **migration chain length** — how many streams may be displaced to
+  admit one arrival ("kept at one throughout our experiments");
+* **hops per request** — how many times any single stream may be moved
+  over its lifetime (1 is "almost as good" as unlimited).
+
+Migration is only safe with client staging: the switch gap is played
+out of the staging buffer.  With ``switch_delay > 0`` a stream is
+eligible only if its current buffer covers the gap; the migrated stream
+is *paused* (rate 0) on the target server until the gap ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.request import Request
+from repro.cluster.server import DataServer
+from repro.placement.base import PlacementMap
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """DRM configuration.
+
+    Attributes:
+        enabled: master switch (policies P1/P2/P5/P6 run disabled).
+        max_chain_length: streams displaced per admission (paper: 1).
+        max_hops_per_request: lifetime migration bound per stream;
+            ``None`` means unlimited ("unrestricted hops").
+        switch_delay: seconds of transmission gap during a migration;
+            eligibility requires the client buffer to cover it.
+    """
+
+    enabled: bool = False
+    max_chain_length: int = 1
+    max_hops_per_request: Optional[int] = 1
+    switch_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_chain_length < 1:
+            raise ValueError(
+                f"max_chain_length must be >= 1, got {self.max_chain_length}"
+            )
+        if (
+            self.max_hops_per_request is not None
+            and self.max_hops_per_request < 0
+        ):
+            raise ValueError(
+                f"max_hops_per_request must be >= 0 or None, got "
+                f"{self.max_hops_per_request}"
+            )
+        if self.switch_delay < 0:
+            raise ValueError(
+                f"switch_delay must be >= 0, got {self.switch_delay}"
+            )
+
+    @classmethod
+    def disabled(cls) -> "MigrationPolicy":
+        """No migration (the paper's baseline)."""
+        return cls(enabled=False)
+
+    @classmethod
+    def paper_default(cls) -> "MigrationPolicy":
+        """Chain length 1, one hop per request — the paper's headline
+        configuration."""
+        return cls(enabled=True, max_chain_length=1, max_hops_per_request=1)
+
+    @classmethod
+    def unlimited_hops(cls) -> "MigrationPolicy":
+        """Chain length 1 but streams may be moved any number of times."""
+        return cls(enabled=True, max_chain_length=1, max_hops_per_request=None)
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One stream displacement: move *request* from *source* to *target*.
+
+    Steps in a chain are ordered ready-to-execute: each step's target
+    has a free slot by the time the step runs.
+    """
+
+    request: Request
+    source_id: int
+    target_id: int
+
+
+def _eligible(
+    request: Request, policy: MigrationPolicy, now: float
+) -> bool:
+    """Can this stream be displaced right now?"""
+    if request.is_paused(now):
+        return False  # already mid-switch
+    if (
+        policy.max_hops_per_request is not None
+        and request.hops >= policy.max_hops_per_request
+    ):
+        return False
+    if policy.switch_delay > 0.0:
+        needed = policy.switch_delay * request.view_bandwidth
+        if request.buffer_occupancy(now) < needed:
+            return False
+    return True
+
+
+#: Slot predicate: can *server* take *request* right now?  The default
+#: is the minimum-flow test; overbooked admission passes its own.
+SlotTest = Callable[[DataServer, Request], bool]
+
+
+def _minflow_slot_test(server: DataServer, request: Request) -> bool:
+    return server.has_slot_for(request)
+
+
+def find_migration_chain(
+    video_id: int,
+    servers: Dict[int, DataServer],
+    placement: PlacementMap,
+    policy: MigrationPolicy,
+    now: float,
+    slot_test: SlotTest = _minflow_slot_test,
+) -> Optional[List[MigrationStep]]:
+    """Search for a displacement chain that frees a slot on some holder
+    of *video_id*.
+
+    Performs a depth-limited DFS over servers: to free a slot on server
+    ``S``, pick an eligible stream on ``S`` whose video has a replica on
+    another server ``T``; if ``T`` has a slot the chain ends, otherwise
+    recursively free a slot on ``T`` (up to ``max_chain_length`` moves).
+
+    Iteration order is deterministic (server id, then request id), so
+    runs are reproducible.
+
+    Returns:
+        Steps in execution order (deepest first), or None.  The *last*
+        step's ``source_id`` is the holder of *video_id* that ends up
+        with the free slot.
+    """
+    if not policy.enabled:
+        return None
+    entry_holders = [
+        servers[sid]
+        for sid in placement.holders(video_id)
+        if sid in servers and servers[sid].up
+    ]
+    # Deterministic preference: fewest active streams first (they are
+    # typically all full here, so this mostly falls back to id order).
+    entry_holders.sort(key=lambda s: (s.active_count, s.server_id))
+    for holder in entry_holders:
+        chain = _free_slot(
+            holder, servers, placement, policy, now, depth=1,
+            visited={holder.server_id}, slot_test=slot_test,
+        )
+        if chain is not None:
+            return chain
+    return None
+
+
+def _free_slot(
+    server: DataServer,
+    servers: Dict[int, DataServer],
+    placement: PlacementMap,
+    policy: MigrationPolicy,
+    now: float,
+    depth: int,
+    visited: set,
+    slot_test: SlotTest = _minflow_slot_test,
+) -> Optional[List[MigrationStep]]:
+    """Free one minimum-flow slot on *server* using <= remaining moves."""
+    if depth > policy.max_chain_length:
+        return None
+    movable = [
+        r for r in server.iter_active() if _eligible(r, policy, now)
+    ]
+    movable.sort(key=lambda r: r.request_id)
+    # Pass 1: a direct move (keeps chains as short as possible).
+    for r in movable:
+        for tid in placement.holders(r.video.video_id):
+            if tid == server.server_id or tid in visited or tid not in servers:
+                continue
+            target = servers[tid]
+            if target.up and slot_test(target, r):
+                return [MigrationStep(r, server.server_id, tid)]
+    # Pass 2: recurse — displace a stream from a full target first.
+    if depth < policy.max_chain_length:
+        for r in movable:
+            for tid in placement.holders(r.video.video_id):
+                if (
+                    tid == server.server_id
+                    or tid in visited
+                    or tid not in servers
+                    or not servers[tid].up
+                ):
+                    continue
+                sub = _free_slot(
+                    servers[tid],
+                    servers,
+                    placement,
+                    policy,
+                    now,
+                    depth + 1,
+                    visited | {tid},
+                    slot_test=slot_test,
+                )
+                if sub is not None:
+                    return sub + [MigrationStep(r, server.server_id, tid)]
+    return None
+
+
+def execute_chain(
+    chain: Sequence[MigrationStep],
+    managers: Dict[int, "TransmissionManager"],  # noqa: F821 - hint only
+    policy: MigrationPolicy,
+    now: float,
+) -> None:
+    """Carry out a chain: each stream leaves its source (syncing its
+    transfer accounting there), optionally pauses for the switch gap,
+    and joins its target."""
+    for step in chain:
+        request = step.request
+        managers[step.source_id].migrate_out(request, now)
+        if policy.switch_delay > 0.0:
+            request.paused_until = now + policy.switch_delay
+        request.hops += 1
+        managers[step.target_id].migrate_in(request, now)

@@ -1,0 +1,273 @@
+"""Per-server transmission machinery: driving an allocator on the engine.
+
+Between events every stream's rate is constant, so each server needs
+exactly one pending engine event: the earliest of its streams' next
+boundaries.  Boundaries are (Section 3.3's EFTF trigger list):
+
+* **transmission finish** — all data sent; the stream leaves the server
+  and frees its minimum-flow floor;
+* **buffer full** — a boosted stream's client runs out of headroom; its
+  surplus is redistributed (the stream drops back to ``b_view``);
+* **switch-gap end** — a migrated stream's pause expires and it rejoins
+  the minimum-flow floor;
+* ("buffer empty" is in the paper's trigger list but is unreachable for
+  minimum-flow algorithms with immediate playback — while unfinished a
+  stream receives at least its drain rate; we assert rather than handle
+  it.)
+
+External triggers (arrival, migration in/out, failure) call
+:meth:`TransmissionManager.reallocate` directly; the pending event is
+cancelled lazily and rescheduled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.analysis.metrics import MetricsSink
+from repro.cluster.request import EPS_MB, Request
+from repro.cluster.server import DataServer
+from repro.core.schedulers import EPS_RATE, BandwidthAllocator
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+
+class TransmissionManager:
+    """Owns one server's bandwidth schedule.
+
+    Args:
+        engine: the simulation engine.
+        server: the managed :class:`DataServer`.
+        allocator: spare-bandwidth policy (EFTF in the paper).
+        metrics: sink for transfer accounting.
+        on_finish: callback invoked when a stream completes transmission
+            (after it has been detached from the server).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        server: DataServer,
+        allocator: BandwidthAllocator,
+        metrics: MetricsSink,
+        on_finish: Optional[Callable[[Request], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.server = server
+        self.allocator = allocator
+        self.metrics = metrics
+        self.on_finish = on_finish
+        self._event: Optional[Event] = None
+        self.reallocations = 0
+
+    # ------------------------------------------------------------------
+    # External triggers
+    # ------------------------------------------------------------------
+    def admit(self, request: Request, now: float) -> None:
+        """Attach a newly accepted stream and rebalance."""
+        request.last_sync = now
+        self.server.attach(request)
+        self.reallocate(now)
+
+    def migrate_in(self, request: Request, now: float) -> None:
+        """Receive a migrated stream (its pause window, if any, was set
+        by the migration executor)."""
+        self.server.attach(request)
+        self.reallocate(now)
+
+    def migrate_out(self, request: Request, now: float) -> None:
+        """Release a stream that is moving to another server.
+
+        Syncs the stream first so its transfer so far is attributed to
+        this server, then rebalances the remainder.
+        """
+        request.sync(now, self.metrics)
+        request.rate = 0.0
+        self.server.detach(request)
+        self.reallocate(now)
+
+    def deactivate(self, now: float) -> None:
+        """Stop scheduling (server failed).  Streams must already have
+        been detached via :meth:`DataServer.fail`; pending work is
+        synced by the failure handler before this call."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    # ------------------------------------------------------------------
+    # Core cycle
+    # ------------------------------------------------------------------
+    def _sync_all(self, active, now: float) -> None:
+        """Integrate every stream to *now*, batching the transfer
+        accounting into one metrics call per event.
+
+        This is the inlined (hot-loop) equivalent of calling
+        ``Request.sync`` per stream; tests assert the two agree.
+        """
+        total = 0.0
+        for r in active:
+            dt = now - r.last_sync
+            if dt > 0.0:
+                rate = r.rate
+                if rate > 0.0:
+                    delta = rate * dt
+                    remaining = r.video.size - r.bytes_sent
+                    if delta > remaining:
+                        delta = remaining
+                    r.bytes_sent += delta
+                    total += delta
+            elif dt < 0.0:
+                raise RuntimeError(
+                    f"sync backwards on server {self.server.server_id}: "
+                    f"{now} < {r.last_sync}"
+                )
+            r.last_sync = now
+        if total > 0.0:
+            self.metrics.record_bytes(self.server.server_id, total, now)
+
+    def reallocate(self, now: float) -> None:
+        """Sync state, apply the allocator, schedule the next boundary."""
+        self.reallocations += 1
+        active = list(self.server.iter_active())
+        self._sync_all(active, now)
+        rates = self.allocator.allocate(self.server, active, now)
+        for r in active:
+            r.rate = rates[r.request_id]
+        self._schedule_boundary(now, active)
+
+    def _schedule_boundary(self, now: float, active) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        boundary = self._next_boundary(now, active)
+        if boundary is not None and math.isfinite(boundary):
+            self._event = self.engine.schedule_at(
+                max(boundary, now),
+                self._on_boundary,
+                kind=f"tx-boundary:srv{self.server.server_id}",
+            )
+
+    def _next_boundary(self, now: float, active) -> Optional[float]:
+        """Earliest time any stream's linear evolution hits a wall.
+
+        Inner-loop code: inlines ``Request.buffer_occupancy`` (kept
+        equivalent by tests) because this scan runs once per event over
+        every stream on the server.
+        """
+        minimum_flow = self.allocator.minimum_flow
+        best: float = math.inf
+        for r in active:
+            if now < r.paused_until:
+                t = r.paused_until
+            else:
+                rate = r.rate
+                vb = r.view_bandwidth
+                sent = r.bytes_sent
+                # A VCR-paused viewer consumes nothing: the buffer only
+                # ever fills, never drains.
+                playing = now < r.playback_pause_time
+                drain = vb if playing else 0.0
+                if rate <= EPS_RATE:
+                    if minimum_flow and playing:
+                        # A live, playing minimum-flow stream always has
+                        # rate >= b_view (a VCR-paused one with a full
+                        # buffer is legitimately idle).
+                        raise RuntimeError(
+                            f"unpaused stream {r.request_id} with zero rate "
+                            f"on server {self.server.server_id}"
+                        )
+                    if playing:
+                        t = self._drain_boundary(r, now, rate, vb, sent)
+                    else:
+                        t = math.inf  # idle until the viewer resumes
+                else:
+                    t = now + (r.video.size - sent) / rate
+                    surplus = rate - drain
+                    if r.starved and surplus >= -EPS_RATE:
+                        r.starved = False  # fed again; close the episode
+                    if surplus > EPS_RATE:
+                        capacity = r.client.buffer_capacity
+                        if capacity < math.inf:
+                            played_until = (
+                                now if playing else r.playback_pause_time
+                            )
+                            headroom = capacity - (
+                                sent - (played_until - r.playback_start) * vb
+                            )
+                            if headroom < 0.0:
+                                headroom = 0.0
+                            t_full = now + headroom / surplus
+                            if t_full < t:
+                                t = t_full
+                    elif surplus < -EPS_RATE:
+                        # Below playback rate (intermittent only): the
+                        # buffer drains — wake up before it empties.
+                        t_empty = self._drain_boundary(r, now, rate, vb, sent)
+                        if t_empty < t:
+                            t = t_empty
+            if t < best:
+                best = t
+        return None if math.isinf(best) else best
+
+    def _drain_boundary(
+        self, r: Request, now: float, rate: float, vb: float, sent: float
+    ) -> float:
+        """Wake-up boundary for a stream receiving below its view rate
+        (only reachable under intermittent allocators).
+
+        A parked stream must resume before its buffer drains to the
+        allocator's ``resume_seconds`` level, so the boundary is the
+        crossing of that level, not of empty.  A stream already at or
+        below the resume level but still draining (the server is
+        genuinely over-committed) gets a buffer-empty boundary; one that
+        is *already* starved gets none — nothing about it changes until
+        another event frees bandwidth — but the underrun is counted
+        (once per episode).  Callers guarantee the stream is *playing*
+        (a VCR-paused viewer's buffer never drains).
+        """
+        if r.video.size - sent <= EPS_MB:
+            return math.inf  # transmission done; nothing drains server-side
+        buffer = sent - (now - r.playback_start) * vb
+        if buffer <= EPS_MB:
+            if not r.starved:
+                r.starved = True
+                self.metrics.record_underrun()
+            return math.inf
+        r.starved = False
+        resume_level = (
+            getattr(self.allocator, "resume_seconds", 0.0) * vb
+        )
+        drain = vb - rate
+        if buffer > resume_level + EPS_MB:
+            return now + (buffer - resume_level) / drain
+        return now + buffer / drain
+
+    def _on_boundary(self) -> None:
+        """Handle the scheduled boundary: complete finished streams, then
+        rebalance (buffer-full and pause-end need no explicit handling —
+        the allocator sees the new state)."""
+        now = self.engine.now
+        self._event = None
+        active = list(self.server.iter_active())
+        self._sync_all(active, now)
+        finished = [r for r in active if r.transmission_finished]
+        for r in finished:
+            self.server.detach(r)
+            r.mark_finished(now)
+            if self.on_finish is not None:
+                self.on_finish(r)
+        self.reallocate(now)
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+    def flush(self, now: float) -> None:
+        """Integrate all streams to *now* (end-of-simulation accounting)."""
+        self._sync_all(list(self.server.iter_active()), now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TransmissionManager srv={self.server.server_id} "
+            f"allocator={self.allocator.name} reallocs={self.reallocations}>"
+        )

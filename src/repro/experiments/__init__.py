@@ -1,0 +1,52 @@
+"""Experiment harness: one module per reproduced table/figure.
+
+Every experiment exposes a ``run_*`` function returning a
+:class:`~repro.experiments.base.SweepResult` (or a table structure) and
+accepts a ``scale`` argument that shrinks simulated duration and trial
+count relative to the paper's full fidelity (5 trials × 1000 simulated
+hours per point — see DESIGN.md §5).  ``scale=1.0`` is full fidelity.
+
+Experiment index (DESIGN.md §3):
+
+* :mod:`repro.experiments.fig4_drm` — effect of dynamic request
+  migration (Figure 4).
+* :mod:`repro.experiments.fig5_staging` — effect of client staging
+  (Figure 5).
+* :mod:`repro.experiments.fig7_policies` — the P1–P8 policy comparison
+  (Figure 7, with the Figure 6 matrix).
+* :mod:`repro.experiments.svbr` — utilization vs server-to-view
+  bandwidth ratio with the Erlang-B analytic curve (EXT-SVBR).
+* :mod:`repro.experiments.partial_predictive` — partial predictive
+  placement (EXT-PP).
+* :mod:`repro.experiments.heterogeneity` — bandwidth/storage
+  heterogeneity (EXT-HET).
+* :mod:`repro.experiments.ablation` — scheduler ablation (EFTF vs
+  proportional vs LFTF) for the DESIGN.md design-choice callout.
+* :mod:`repro.experiments.dynamic_replication` — EXT-DR: the related
+  work's "resource intensive" alternative to DRM.
+* :mod:`repro.experiments.intermittent_burst` — EXT-INT: the
+  intermittent class the paper set aside (a supporting negative
+  result).
+* :mod:`repro.experiments.interactivity_vcr` — EXT-VCR: viewer
+  pause/resume, relaxing Theorem 1's no-pause assumption.
+* :mod:`repro.experiments.client_mix` — EXT-MIX: heterogeneous client
+  capabilities (partial staging rollout).
+"""
+
+from repro.experiments.base import (
+    ExperimentScale,
+    SweepResult,
+    Variant,
+    resolve_scale,
+    run_sweep,
+    run_trials,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SweepResult",
+    "Variant",
+    "resolve_scale",
+    "run_sweep",
+    "run_trials",
+]

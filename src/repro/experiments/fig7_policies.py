@@ -1,0 +1,103 @@
+"""Figures 6 & 7 — the P1–P8 policy comparison.
+
+Figure 6 is the policy matrix (allocation × migration × staging);
+Figure 7 sweeps all eight over θ on both systems, with DRM and 20 %
+staging where the policy prescribes them.
+
+Expected shape (Section 4.5): for θ ∈ [0, 1] the even-allocation
+policies with both mechanisms (P4) match the clairvoyant P8 and beat
+everything else; for θ < 0 the allocation scheme dominates and the
+predictive policies (P5–P8) win.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SystemConfig
+from repro.core.policies import PAPER_POLICIES, Policy
+from repro.experiments.base import (
+    ExperimentScale,
+    SweepResult,
+    THETA_GRID,
+    Variant,
+    resolve_scale,
+    run_sweep,
+)
+from repro.simulation import SimulationConfig
+
+
+def policy_variant(policy: Policy) -> Variant:
+    """Map a Figure 6 policy onto config overrides."""
+    return Variant(
+        policy.name,
+        {
+            "placement": policy.placement,
+            "migration": policy.migration_policy(),
+            "staging_fraction": policy.staging_fraction,
+        },
+    )
+
+
+def policy_matrix_table() -> str:
+    """Figure 6 as an ASCII table."""
+    rows = [
+        [p.name, p.placement.capitalize(),
+         "Migr" if p.migration else "No Migr",
+         f"{p.staging_fraction:.0%} Buffer"]
+        for p in PAPER_POLICIES.values()
+    ]
+    return render_table(
+        ["Policy", "Allocation", "Migration", "Client Staging"],
+        rows,
+        title="Figure 6: policies evaluated",
+    )
+
+
+def run_fig7(
+    system: SystemConfig = LARGE_SYSTEM,
+    theta_values: Optional[List[float]] = None,
+    policies: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Reproduce one panel of Figure 7 (utilization vs θ per policy)."""
+    exp_scale: ExperimentScale = resolve_scale(scale)
+    chosen: Dict[str, Policy] = (
+        {name: PAPER_POLICIES[name] for name in policies}
+        if policies is not None
+        else PAPER_POLICIES
+    )
+    base = SimulationConfig(
+        system=system,
+        theta=0.0,
+        scheduler="eftf",
+        duration=exp_scale.duration,
+        warmup=exp_scale.warmup,
+        seed=seed,
+        client_receive_bandwidth=30.0,
+    )
+    return run_sweep(
+        base,
+        theta_values if theta_values is not None else THETA_GRID,
+        [policy_variant(p) for p in chosen.values()],
+        exp_scale,
+        base_seed=seed,
+        progress=progress,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli
+    print(policy_matrix_table())
+    print()
+    for system in (LARGE_SYSTEM, SMALL_SYSTEM):
+        result = run_fig7(system=system, progress=print)
+        print()
+        print(result.render(title=f"Figure 7 ({system.name} system)"))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

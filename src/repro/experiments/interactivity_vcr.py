@@ -1,0 +1,92 @@
+"""EXT-VCR — viewer interactivity (pause/resume).
+
+Section 6 lists "interactivity in semi-continuous transmission" among
+future research directions, and Theorem 1's optimality proof assumes
+"the videos are not paused".  This experiment relaxes that assumption:
+a stochastic pause/resume process is attached to every admitted viewer
+(:mod:`repro.workload.interactivity`) and pause intensity is swept.
+
+Expected shape:
+
+* utilization and acceptance decline smoothly with pause intensity —
+  a paused viewer's stream keeps its minimum-flow slot while its
+  playback makes no progress, so slots are held longer;
+* client staging softens the decline: a paused viewer's buffer keeps
+  absorbing workahead until full, so transmissions still finish early;
+* no underruns at any intensity — the minimum-flow floor plus the
+  pause-exemption (idle once the buffer is full) keep playback safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.system import SMALL_SYSTEM, SystemConfig
+from repro.core.migration import MigrationPolicy
+from repro.experiments.base import (
+    ExperimentScale,
+    SweepResult,
+    Variant,
+    resolve_scale,
+    run_sweep,
+)
+from repro.simulation import SimulationConfig
+
+#: Pause intensities: expected pauses per hour of viewing.
+PAUSES_PER_HOUR: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+
+def variants() -> List[Variant]:
+    return [
+        Variant("no staging", {"staging_fraction": 0.0}),
+        Variant("20% staging", {"staging_fraction": 0.2}),
+    ]
+
+
+def run_interactivity(
+    system: SystemConfig = SMALL_SYSTEM,
+    pauses_per_hour: Sequence[float] = PAUSES_PER_HOUR,
+    mean_pause: float = 300.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Utilization vs pause intensity, with and without staging."""
+    exp_scale: ExperimentScale = resolve_scale(scale)
+    base = SimulationConfig(
+        system=system,
+        theta=0.27,
+        placement="even",
+        migration=MigrationPolicy.paper_default(),
+        scheduler="eftf",
+        duration=exp_scale.duration,
+        warmup=exp_scale.warmup,
+        seed=seed,
+        client_receive_bandwidth=30.0,
+        mean_pause=mean_pause,
+        # x_field sweeps pause_hazard; 0 must stay exactly 0 (disabled).
+    )
+    hazards = [p / 3600.0 for p in pauses_per_hour]
+    result = run_sweep(
+        base,
+        hazards,
+        variants(),
+        exp_scale,
+        x_field="pause_hazard",
+        base_seed=seed,
+        progress=progress,
+    )
+    # Re-express the x axis in pauses/hour for readability.
+    result.x_values = [h * 3600.0 for h in result.x_values]
+    result.x_label = "pauses_per_hour"
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli
+    result = run_interactivity(progress=print)
+    print()
+    print(result.render(title="EXT-VCR: viewer pause/resume interactivity"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,127 @@
+"""EXT-SVBR — utilization vs server-to-view bandwidth ratio.
+
+Section 3.2 attributes much of the baseline robustness to the **large
+server-to-view bandwidth ratio** and refers to an analytic expression
+for one-server utilization (the full version, TR 01-47).  A single
+server under continuous transmission is an Erlang loss system
+(M/G/m/m with m = SVBR), so the analytic curve is ``1 − B(m, m)`` —
+see :mod:`repro.analysis.erlang`.
+
+This experiment sweeps SVBR on a one-server system and overlays the
+simulated utilization with the analytic curve; their agreement is the
+paper's own validation of the simulator, reproduced here (and enforced
+by an integration test).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.erlang import erlang_b_utilization
+from repro.analysis.report import render_series
+from repro.analysis.stats import SummaryStats, summarize
+from repro.cluster.system import SystemConfig, homogeneous
+from repro.core.migration import MigrationPolicy
+from repro.experiments.base import (
+    ExperimentScale,
+    resolve_scale,
+    run_trials,
+)
+from repro.simulation import SimulationConfig
+from repro.units import minutes
+
+#: Default SVBR grid (streams per server); 33 and 100 are the paper's
+#: small- and large-system operating points.
+SVBR_GRID: Sequence[int] = (5, 10, 20, 33, 50, 100)
+
+
+def one_server_system(svbr: int, view_bandwidth: float = 3.0) -> SystemConfig:
+    """A single-server system with the given stream capacity.
+
+    The catalog is small (every video on the one server) so placement
+    is immaterial; lengths use the small-system range.
+    """
+    return homogeneous(
+        name=f"svbr{svbr}",
+        n_servers=1,
+        bandwidth=svbr * view_bandwidth,
+        disk_capacity_gb=1000.0,
+        n_videos=20,
+        video_length_range=(minutes(10), minutes(30)),
+        avg_copies=1.0,
+        view_bandwidth=view_bandwidth,
+    )
+
+
+def run_svbr(
+    svbr_values: Sequence[int] = SVBR_GRID,
+    theta: float = 0.27,
+    load: float = 1.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Sweep SVBR: simulated vs Erlang-B analytic utilization.
+
+    Returns a dict with ``svbr`` (grid), ``simulated`` (list of
+    :class:`SummaryStats`), ``analytic`` (floats) and ``scale``.
+    """
+    exp_scale: ExperimentScale = resolve_scale(scale)
+    simulated: List[SummaryStats] = []
+    analytic: List[float] = []
+    for svbr in svbr_values:
+        system = one_server_system(int(svbr))
+        config = SimulationConfig(
+            system=system,
+            theta=theta,
+            placement="even",
+            migration=MigrationPolicy.disabled(),
+            staging_fraction=0.0,      # continuous transmission
+            scheduler="none",
+            duration=exp_scale.duration,
+            warmup=exp_scale.warmup,
+            load=load,
+            seed=seed,
+        )
+        results = run_trials(config, exp_scale.trials, base_seed=seed)
+        stats = summarize([r.utilization for r in results])
+        simulated.append(stats)
+        analytic.append(erlang_b_utilization(int(svbr), load=load))
+        if progress is not None:
+            progress(
+                f"svbr={svbr:>4d} simulated={stats.mean:.4f} "
+                f"analytic={analytic[-1]:.4f}"
+            )
+    return {
+        "svbr": [int(v) for v in svbr_values],
+        "simulated": simulated,
+        "analytic": analytic,
+        "scale": exp_scale,
+    }
+
+
+def render_svbr(result: Dict[str, object]) -> str:
+    """ASCII series of the EXT-SVBR comparison."""
+    scale: ExperimentScale = result["scale"]  # type: ignore[assignment]
+    return render_series(
+        "svbr",
+        result["svbr"],  # type: ignore[arg-type]
+        {
+            "simulated": [s.mean for s in result["simulated"]],  # type: ignore[union-attr]
+            "erlang-B": result["analytic"],  # type: ignore[dict-item]
+        },
+        title=(
+            "EXT-SVBR: one-server utilization vs SVBR  "
+            f"[{scale.describe()}]"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli
+    result = run_svbr(progress=print)
+    print()
+    print(render_svbr(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

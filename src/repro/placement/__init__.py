@@ -1,0 +1,45 @@
+"""Static video placement strategies (paper Sections 3.2 and 4.4).
+
+A placement decides how many replicas each video gets and which servers
+hold them, before any request arrives.  The paper's headline result is
+that with staging + DRM the *simplest* scheme suffices:
+
+* :mod:`repro.placement.even` — same number of copies for every video,
+  rounding at random (popularity-oblivious).
+* :mod:`repro.placement.predictive` — copies proportional to (perfectly
+  known) popularity, at least one each.
+* :mod:`repro.placement.partial` — "partial predictive": a few extra
+  copies for the most popular titles only (Section 4.4).
+* :mod:`repro.placement.bsr` — bandwidth-to-space-ratio greedy baseline
+  after Dan & Sitaram [10], as a related-work comparator.
+
+All schemes share the capacity-aware random server assignment in
+:mod:`repro.placement.capacity`.
+"""
+
+from repro.placement.base import PlacementMap, PlacementPolicy, PlacementResult
+from repro.placement.bsr import BSRPlacement
+from repro.placement.capacity import assign_copies_randomly
+from repro.placement.even import EvenPlacement
+from repro.placement.partial import PartialPredictivePlacement
+from repro.placement.predictive import PredictivePlacement
+
+#: Registry used by the simulation config layer.
+PLACEMENTS = {
+    "even": EvenPlacement,
+    "predictive": PredictivePlacement,
+    "partial": PartialPredictivePlacement,
+    "bsr": BSRPlacement,
+}
+
+__all__ = [
+    "BSRPlacement",
+    "EvenPlacement",
+    "PLACEMENTS",
+    "PartialPredictivePlacement",
+    "PlacementMap",
+    "PlacementPolicy",
+    "PlacementResult",
+    "PredictivePlacement",
+    "assign_copies_randomly",
+]

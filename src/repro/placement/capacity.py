@@ -1,0 +1,97 @@
+"""Capacity-aware random assignment of replicas to servers.
+
+Section 4.1: "a subset of the servers is chosen at random for each
+video and copies of that video are placed on the selected servers."
+
+We honour disk capacities: a server with insufficient free space is not
+a candidate.  When fewer candidates than requested copies exist, the
+video gets as many replicas as fit and the deficit is reported as
+``shortfall`` (the paper's configurations are feasible, so this is 0 in
+the reproduced experiments; it matters for stress tests).
+
+Videos are placed in descending size order — the classic first-fit-
+decreasing trick — so large videos are not squeezed out by earlier
+small ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.server import DataServer
+from repro.placement.base import PlacementMap
+from repro.workload.catalog import VideoCatalog
+
+
+def assign_copies_randomly(
+    catalog: VideoCatalog,
+    counts: np.ndarray,
+    servers: Sequence[DataServer],
+    rng: np.random.Generator,
+) -> Tuple[PlacementMap, int]:
+    """Place ``counts[v]`` replicas of each video on random servers.
+
+    Args:
+        catalog: the videos.
+        counts: desired replicas per video id, each in [1, n_servers].
+        servers: the cluster's servers; their disks are mutated.
+        rng: placement random stream.
+
+    Placement is two-phase so that a tight disk budget sheds *extra*
+    replicas before it ever leaves a video without any copy (Section
+    3.2: the policies are "required to make at least one copy of each
+    video, assuming the availability of storage"):
+
+    1. one copy of every video, largest first (first-fit decreasing);
+    2. the remaining ``counts[v] - 1`` copies, largest first.
+
+    Returns:
+        (placement map, shortfall) where shortfall counts replicas that
+        did not fit anywhere.
+    """
+    if len(counts) != len(catalog):
+        raise ValueError(
+            f"counts length {len(counts)} != catalog size {len(catalog)}"
+        )
+    holders: Dict[int, List[int]] = {vid: [] for vid in range(len(catalog))}
+    shortfall = 0
+    # First-fit-decreasing over video size; ties broken by id for
+    # determinism.
+    order = sorted(range(len(catalog)), key=lambda v: (-catalog[v].size, v))
+
+    def place(vid: int, want: int) -> int:
+        """Place up to *want* replicas of *vid*; returns the deficit."""
+        if want <= 0:
+            return 0
+        video = catalog[vid]
+        candidates = [s for s in servers if s.can_store(video)]
+        placed_now = min(want, len(candidates))
+        if placed_now > 0:
+            chosen = rng.choice(len(candidates), size=placed_now, replace=False)
+            for idx in np.atleast_1d(chosen):
+                server = candidates[int(idx)]
+                server.store_replica(video)
+                holders[vid].append(server.server_id)
+        return want - placed_now
+
+    for vid in order:  # phase 1: coverage (attempt one copy each)
+        shortfall += place(vid, min(1, int(counts[vid])))
+    for vid in order:  # phase 2: replication (the remaining copies)
+        shortfall += place(vid, int(counts[vid]) - min(1, int(counts[vid])))
+    return (
+        PlacementMap({vid: tuple(srvs) for vid, srvs in holders.items()}),
+        shortfall,
+    )
+
+
+def storage_feasible(
+    catalog: VideoCatalog, counts: np.ndarray, servers: Sequence[DataServer]
+) -> bool:
+    """Quick aggregate check: does the total replica volume fit the
+    cluster's total disk?  Necessary but not sufficient (fragmentation
+    across servers can still cause shortfall)."""
+    total_volume = float(np.dot(counts, catalog.sizes))
+    total_disk = sum(s.disk_capacity for s in servers)
+    return total_volume <= total_disk

@@ -1,0 +1,43 @@
+"""Even allocation: the popularity-oblivious placement (Section 3.2).
+
+"This strategy allocates the same number of copies to each video (with
+rounding done at random)."  With an average of 2.2 copies per video,
+each video gets 2 copies and a random 20 % of videos get a third.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.placement.base import PlacementPolicy
+from repro.workload.catalog import VideoCatalog
+from repro.workload.zipf import ZipfPopularity
+
+
+class EvenPlacement(PlacementPolicy):
+    """Same copy count for every video, random rounding."""
+
+    name = "even"
+
+    def copy_counts(
+        self,
+        catalog: VideoCatalog,
+        popularity: ZipfPopularity,
+        total_copies: int,
+        n_servers: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n = len(catalog)
+        if total_copies < n:
+            raise ValueError(
+                f"total_copies={total_copies} cannot give each of {n} "
+                f"videos a replica"
+            )
+        base = total_copies // n
+        base = max(1, min(base, n_servers))
+        counts = np.full(n, base, dtype=np.int64)
+        remainder = total_copies - base * n
+        if remainder > 0 and base < n_servers:
+            lucky = rng.choice(n, size=min(remainder, n), replace=False)
+            counts[lucky] += 1
+        return counts

@@ -1,0 +1,66 @@
+"""Predictive allocation: copies proportional to known popularity.
+
+Section 3.2: "The number of copies of each object is proportional to
+its predicted popularity."  The paper's predictive scheme is an oracle:
+it knows the Zipf demand exactly and is "required to make at least one
+copy of each video".  Rounding uses largest-remainder so the total is
+hit exactly (then clamped to [1, n_servers] and re-balanced).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.placement.base import PlacementPolicy, clamp_counts_to_total
+from repro.workload.catalog import VideoCatalog
+from repro.workload.zipf import ZipfPopularity
+
+
+def proportional_counts(
+    probabilities: np.ndarray,
+    total_copies: int,
+    n_servers: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Largest-remainder apportionment of *total_copies* by probability,
+    with every count clamped to [1, n_servers]."""
+    n = len(probabilities)
+    ideal = probabilities * total_copies
+    counts = np.floor(ideal).astype(np.int64)
+    counts = np.clip(counts, 1, n_servers)
+    # Distribute what's left to the largest fractional remainders among
+    # videos that can still take a copy.
+    deficit = total_copies - int(counts.sum())
+    if deficit > 0:
+        remainders = ideal - np.floor(ideal)
+        order = np.argsort(-remainders, kind="stable")
+        for vid in order:
+            if deficit == 0:
+                break
+            if counts[vid] < n_servers:
+                counts[vid] += 1
+                deficit -= 1
+    return clamp_counts_to_total(counts, total_copies, n_servers, rng)
+
+
+class PredictivePlacement(PlacementPolicy):
+    """Oracle placement: replicas proportional to true demand."""
+
+    name = "predictive"
+
+    def copy_counts(
+        self,
+        catalog: VideoCatalog,
+        popularity: ZipfPopularity,
+        total_copies: int,
+        n_servers: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if total_copies < len(catalog):
+            raise ValueError(
+                f"total_copies={total_copies} cannot give each of "
+                f"{len(catalog)} videos a replica"
+            )
+        return proportional_counts(
+            popularity.probabilities, total_copies, n_servers, rng
+        )

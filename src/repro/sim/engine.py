@@ -1,0 +1,206 @@
+"""The discrete-event simulation engine.
+
+The engine owns the simulation clock and the event agenda (a binary
+heap).  Design decisions that matter for the reproduction:
+
+* **Determinism** — events at equal timestamps fire in scheduling order
+  (FIFO via a sequence counter).  Combined with named RNG substreams
+  (:mod:`repro.sim.rng`) this makes every experiment bit-reproducible
+  from its seed.
+* **Lazy cancellation** — the admission/EFTF machinery reschedules a
+  request's "next event" every time its bandwidth allocation changes; a
+  naive heap-removal would be O(n).  Cancelled events are skipped when
+  popped instead.
+* **Bounded runs** — ``run_until(t)`` advances the clock to exactly
+  ``t`` even if the agenda empties earlier, so utilization denominators
+  are well-defined.
+
+The engine deliberately knows nothing about video servers; it is a
+general substrate (and is tested as one).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """Event loop with a monotonic clock.
+
+    Example:
+        >>> eng = Engine()
+        >>> fired = []
+        >>> _ = eng.schedule(5.0, lambda: fired.append(eng.now))
+        >>> eng.run_until(10.0)
+        >>> eng.now, fired
+        (10.0, [5.0])
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._events_cancelled = 0
+        self._running = False
+        #: Optional hook called as ``trace(event)`` just before each event
+        #: fires; useful for debugging and for test instrumentation.
+        self.trace: Optional[Callable[[Event], None]] = None
+
+    # ------------------------------------------------------------------
+    # Clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of cancelled events skipped so far."""
+        return self._events_cancelled
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events currently on the agenda (including cancelled
+        handles not yet popped)."""
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next *live* event, or None if the agenda is empty.
+
+        Pops and discards dead (cancelled) handles encountered on the way.
+        """
+        while self._heap:
+            head = self._heap[0]
+            if head.pending:
+                return head.time
+            heapq.heappop(self._heap)
+            self._events_cancelled += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        payload: Any = None,
+        kind: str = "",
+    ) -> Event:
+        """Schedule *callback* to run ``delay`` seconds from now.
+
+        Args:
+            delay: non-negative offset from the current clock.
+            callback: zero-argument callable.
+            payload: opaque annotation carried on the handle.
+            kind: string tag for tracing.
+
+        Returns:
+            The :class:`Event` handle (cancellable).
+
+        Raises:
+            SimulationError: if *delay* is negative or NaN.
+        """
+        if not delay >= 0.0:  # also catches NaN
+            raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, payload, kind)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        payload: Any = None,
+        kind: str = "",
+    ) -> Event:
+        """Schedule *callback* at absolute simulation *time* (>= now)."""
+        if not time >= self._now:  # also catches NaN
+            raise SimulationError(
+                f"cannot schedule at t={time!r} before now={self._now!r}"
+            )
+        self._seq += 1
+        event = Event(float(time), self._seq, callback, payload, kind)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next live event, advancing the clock to it.
+
+        Returns:
+            True if an event fired, False if the agenda was empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.pending:
+                self._events_cancelled += 1
+                continue
+            self._now = event.time
+            if self.trace is not None:
+                self.trace(event)
+            self._events_fired += 1
+            event._fire()
+            return True
+        return False
+
+    def run_until(self, until: float) -> None:
+        """Run events with ``time <= until`` and leave the clock at *until*.
+
+        Events scheduled exactly at *until* do fire.  The clock never
+        moves backwards: if *until* is in the past this raises.
+        """
+        if not until >= self._now:
+            raise SimulationError(
+                f"run_until({until!r}) is before now={self._now!r}"
+            )
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > until:
+                    break
+                self.step()
+            self._now = float(until)
+        finally:
+            self._running = False
+
+    def run(self) -> None:
+        """Run until the agenda is exhausted."""
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            while self.step():
+                pass
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Debug helpers
+    # ------------------------------------------------------------------
+    def iter_pending(self) -> Iterator[Event]:
+        """Yield pending events in an unspecified order (debug only)."""
+        return (e for e in self._heap if e.pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Engine now={self._now:.6g} pending={self.pending_count} "
+            f"fired={self._events_fired}>"
+        )

@@ -1,0 +1,68 @@
+"""Named, independently-seeded random substreams.
+
+Reproducible experiments need more than a single seed: if the arrival
+process and the placement shuffle shared one generator, changing the
+number of placement draws would perturb every subsequent arrival.  Each
+component therefore gets its own :class:`numpy.random.Generator` derived
+from a root :class:`numpy.random.SeedSequence` and a stable string key,
+so streams are statistically independent *and* stable across unrelated
+code changes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of named, decoupled random generators.
+
+    Example:
+        >>> streams = RandomStreams(seed=42)
+        >>> a1 = streams.get("arrivals").random()
+        >>> streams2 = RandomStreams(seed=42)
+        >>> _ = streams2.get("placement").random()  # unrelated draw
+        >>> a2 = streams2.get("arrivals").random()
+        >>> a1 == a2
+        True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._root = np.random.SeedSequence(self.seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @staticmethod
+    def _key_to_int(key: str) -> int:
+        """Map a stream name to a stable 32-bit integer (crc32)."""
+        return zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF
+
+    def get(self, key: str) -> np.random.Generator:
+        """Return the generator for *key*, creating it on first use.
+
+        The same (seed, key) pair always yields an identical stream,
+        independent of access order and of other keys.
+        """
+        gen = self._streams.get(key)
+        if gen is None:
+            child = np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(self._key_to_int(key),)
+            )
+            gen = np.random.default_rng(child)
+            self._streams[key] = gen
+        return gen
+
+    def child(self, key: str) -> "RandomStreams":
+        """Derive a whole sub-factory (e.g. one per trial).
+
+        ``RandomStreams(s).child(k)`` is deterministic in (s, k) and its
+        streams are independent of the parent's.
+        """
+        derived_seed = (self.seed * 1_000_003 + self._key_to_int(key)) % (2**63)
+        return RandomStreams(seed=derived_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RandomStreams seed={self.seed} streams={sorted(self._streams)}>"

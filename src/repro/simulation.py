@@ -1,0 +1,349 @@
+"""High-level facade: configure, build and run one simulation.
+
+This is the main public entry point::
+
+    from repro import Simulation, SimulationConfig, SMALL_SYSTEM
+    from repro.core.migration import MigrationPolicy
+
+    cfg = SimulationConfig(
+        system=SMALL_SYSTEM,
+        theta=0.5,
+        placement="even",
+        migration=MigrationPolicy.paper_default(),
+        staging_fraction=0.2,
+        duration=3600.0 * 50,
+        seed=7,
+    )
+    result = Simulation(cfg).run()
+    print(result.utilization)
+
+The builder wires: RNG substreams → catalog → Zipf demand → placement →
+servers/managers → distribution controller → Poisson arrivals, then
+runs the engine for ``duration`` seconds and measures Section 4.1's
+utilization and rejection statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import SimulationMetrics
+from repro.cluster.client import ClientProfile, staging_capacity
+from repro.cluster.controller import DistributionController
+from repro.cluster.system import SystemConfig
+from repro.core.migration import MigrationPolicy
+from repro.core.replication import DynamicReplicator, ReplicationPolicy
+from repro.core.schedulers import ALLOCATORS
+from repro.placement import PLACEMENTS
+from repro.placement.base import PlacementResult
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import PoissonArrivalProcess, calibrated_arrival_rate
+from repro.workload.catalog import VideoCatalog, make_catalog
+from repro.workload.zipf import ZipfPopularity
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to reproduce one run.
+
+    Attributes:
+        system: cluster + catalog parameterisation (Figure 3 presets).
+        theta: Zipf demand-uniformity parameter (1 = uniform).
+        placement: placement registry key (see ``repro.placement``).
+        migration: DRM configuration.
+        staging_fraction: client staging buffer as a fraction of the
+            mean video size (0.2 is the paper's near-optimum).
+        scheduler: allocator registry key (``"eftf"`` default).
+        duration: simulated seconds (measurement window end).
+        warmup: seconds excluded from the measurement at the start of
+            the run.  The paper simulates 1000 hours so its ramp-in is
+            negligible; at the scaled durations used here a warmup of a
+            few mean video lengths removes the empty-system bias.
+        load: offered load as a fraction of cluster capacity (paper: 1).
+        seed: root seed; all randomness derives from it.
+        client_receive_bandwidth: overrides the system's per-client
+            ingest cap when set; ``math.inf`` removes the cap
+            (Theorem 1's regime).
+        replication: enable the dynamic-replication extension with the
+            given policy (None = static placement, as in the paper).
+        pause_hazard: per-second rate at which playing viewers hit
+            pause (VCR interactivity extension; 0 disables, as in the
+            paper and Theorem 1's assumption).
+        mean_pause: mean pause length in seconds (exponential).
+        client_mix: heterogeneous client population (extension; the
+            paper's §6 notes "client resource capabilities can vary"):
+            a tuple of ``(weight, staging_fraction)`` classes sampled
+            per request.  ``None`` (default) gives every client the
+            homogeneous ``staging_fraction`` buffer.
+    """
+
+    system: SystemConfig
+    theta: float
+    placement: str = "even"
+    migration: MigrationPolicy = field(default_factory=MigrationPolicy.disabled)
+    staging_fraction: float = 0.0
+    scheduler: str = "eftf"
+    admission: str = "minflow"
+    duration: float = 3600.0 * 100
+    warmup: float = 0.0
+    load: float = 1.0
+    seed: int = 0
+    client_receive_bandwidth: Optional[float] = None
+    replication: Optional["ReplicationPolicy"] = None
+    pause_hazard: float = 0.0
+    mean_pause: float = 300.0
+    client_mix: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.client_mix is not None:
+            if not self.client_mix:
+                raise ValueError("client_mix must have at least one class")
+            for weight, fraction in self.client_mix:
+                if weight <= 0:
+                    raise ValueError(
+                        f"client_mix weights must be positive, got {weight}"
+                    )
+                if fraction < 0:
+                    raise ValueError(
+                        f"client_mix staging fractions must be >= 0, "
+                        f"got {fraction}"
+                    )
+        if self.pause_hazard < 0:
+            raise ValueError(
+                f"pause_hazard must be >= 0, got {self.pause_hazard}"
+            )
+        if self.mean_pause <= 0:
+            raise ValueError(
+                f"mean_pause must be positive, got {self.mean_pause}"
+            )
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"choose from {sorted(PLACEMENTS)}"
+            )
+        if self.scheduler not in ALLOCATORS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {sorted(ALLOCATORS)}"
+            )
+        if self.admission not in ("minflow", "overbook"):
+            raise ValueError(
+                f"admission must be 'minflow' or 'overbook', "
+                f"got {self.admission!r}"
+            )
+        if self.admission == "overbook" and self.scheduler != "intermittent":
+            raise ValueError(
+                "overbooked admission requires the intermittent scheduler "
+                "(minimum-flow allocators cannot serve more than the SVBR)"
+            )
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError(
+                f"warmup must be in [0, duration), got {self.warmup}"
+            )
+        if self.staging_fraction < 0:
+            raise ValueError(
+                f"staging_fraction must be >= 0, got {self.staging_fraction}"
+            )
+        if self.load <= 0:
+            raise ValueError(f"load must be positive, got {self.load}")
+
+
+@dataclass
+class SimulationResult:
+    """Measured outputs of one run."""
+
+    config: SimulationConfig
+    utilization: float
+    acceptance_ratio: float
+    rejection_ratio: float
+    arrivals: int
+    accepted: int
+    rejected: int
+    migrations: int
+    migration_attempts: int
+    finished: int
+    dropped: int
+    underruns: int
+    offered_load: float
+    arrival_rate: float
+    megabits_sent: float
+    placement_shortfall: int
+    events_fired: int
+
+    def __str__(self) -> str:
+        return (
+            f"utilization={self.utilization:.4f} "
+            f"accept={self.acceptance_ratio:.4f} "
+            f"arrivals={self.arrivals} migrations={self.migrations}"
+        )
+
+
+class Simulation:
+    """Build and run one configured simulation.
+
+    Construction performs the static phase (catalog, placement, server
+    wiring); :meth:`run` performs the dynamic phase.  A Simulation is
+    single-use: call :meth:`run` once.
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.streams = RandomStreams(seed=config.seed)
+        self.engine = Engine()
+
+        system = config.system
+        self.catalog: VideoCatalog = make_catalog(
+            system.n_videos,
+            system.video_length_range,
+            self.streams.get("catalog"),
+            view_bandwidth=system.view_bandwidth,
+        )
+        self.popularity = ZipfPopularity(system.n_videos, config.theta)
+
+        self.servers = system.build_servers()
+        policy_cls = PLACEMENTS[config.placement]
+        self.placement_result: PlacementResult = policy_cls().allocate(
+            self.catalog,
+            self.popularity,
+            self.servers,
+            system.total_copies,
+            self.streams.get("placement"),
+        )
+
+        receive_bw = (
+            config.client_receive_bandwidth
+            if config.client_receive_bandwidth is not None
+            else system.client_receive_bandwidth
+        )
+        if config.client_mix is None:
+            buffer_capacity = staging_capacity(
+                config.staging_fraction, self.catalog.mean_size
+            )
+            profile = ClientProfile(
+                buffer_capacity=buffer_capacity,
+                receive_bandwidth=receive_bw,
+            )
+        else:
+            # Heterogeneous clients: one immutable profile per class,
+            # sampled per request from a dedicated stream.
+            weights = np.array(
+                [w for w, _ in config.client_mix], dtype=np.float64
+            )
+            weights /= weights.sum()
+            profiles = [
+                ClientProfile(
+                    buffer_capacity=staging_capacity(
+                        frac, self.catalog.mean_size
+                    ) if frac > 0 else 0.0,
+                    receive_bandwidth=receive_bw,
+                )
+                for _, frac in config.client_mix
+            ]
+            client_rng = self.streams.get("clients")
+
+            def profile(video_id: int) -> ClientProfile:
+                idx = int(client_rng.choice(len(profiles), p=weights))
+                return profiles[idx]
+
+        self.controller = DistributionController(
+            engine=self.engine,
+            servers=self.servers,
+            catalog=self.catalog,
+            placement=self.placement_result.placement,
+            client_profile=profile,
+            allocator=ALLOCATORS[config.scheduler](),
+            migration_policy=config.migration,
+            admission_mode=config.admission,
+        )
+
+        self.interactivity = None
+        if config.pause_hazard > 0.0:
+            from repro.workload.interactivity import InteractivityModel
+
+            self.interactivity = InteractivityModel(
+                engine=self.engine,
+                controller=self.controller,
+                rng=self.streams.get("interactivity"),
+                pause_hazard=config.pause_hazard,
+                mean_pause_duration=config.mean_pause,
+            )
+
+        self.replicator: Optional[DynamicReplicator] = None
+        if config.replication is not None:
+            self.replicator = DynamicReplicator(
+                engine=self.engine,
+                servers=self.controller.servers,
+                placement=self.placement_result.placement,
+                catalog=self.catalog,
+                policy=config.replication,
+            )
+            self.controller.decision_hooks.append(self.replicator.observe)
+
+        self.arrival_rate = calibrated_arrival_rate(
+            self.popularity,
+            self.catalog,
+            system.total_bandwidth,
+            load=config.load,
+        )
+        self._arrivals = PoissonArrivalProcess(
+            engine=self.engine,
+            rate=self.arrival_rate,
+            popularity=self.popularity,
+            rng=self.streams.get("arrivals"),
+            on_arrival=self.controller.submit,
+        )
+        self._ran = False
+
+    @property
+    def metrics(self) -> SimulationMetrics:
+        return self.controller.metrics
+
+    def run(self) -> SimulationResult:
+        """Advance the engine for ``duration`` seconds and measure."""
+        if self._ran:
+            raise RuntimeError("Simulation objects are single-use")
+        self._ran = True
+        cfg = self.config
+        if cfg.warmup > 0.0:
+            # Run the ramp-in, settle the transfer accounting at the
+            # warmup instant, then discard everything measured so far.
+            self.engine.run_until(cfg.warmup)
+            for manager in self.controller.managers.values():
+                manager.flush(cfg.warmup)
+            self.metrics.reset()
+        self.engine.run_until(cfg.duration)
+        self._arrivals.stop()
+        self.controller.finalize(cfg.duration)
+        metrics = self.metrics
+        total_bw = cfg.system.total_bandwidth
+        window = cfg.duration - cfg.warmup
+        return SimulationResult(
+            config=cfg,
+            utilization=metrics.utilization(total_bw, window),
+            acceptance_ratio=metrics.acceptance_ratio,
+            rejection_ratio=metrics.rejection_ratio,
+            arrivals=metrics.arrivals,
+            accepted=metrics.accepted,
+            rejected=metrics.rejected,
+            migrations=metrics.migrations,
+            migration_attempts=metrics.migration_attempts,
+            finished=metrics.finished,
+            dropped=metrics.dropped,
+            underruns=metrics.underruns,
+            offered_load=cfg.load,
+            arrival_rate=self.arrival_rate,
+            megabits_sent=metrics.total_megabits,
+            placement_shortfall=self.placement_result.shortfall,
+            events_fired=self.engine.events_fired,
+        )
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """One-shot convenience wrapper."""
+    return Simulation(config).run()

@@ -1,0 +1,114 @@
+"""Poisson request arrivals calibrated to a target offered load.
+
+Section 4.1: "The arrival rate is chosen so that if all the requests are
+accepted, the utilization will be 100 %.  That is, the expected sum of
+the sizes of all requested videos is equal to the number of servers
+times the server bandwidth times the length of the simulation."
+
+With request rate λ (req/s) and expected requested-video size
+``E_p[size]`` (Mb, expectation under the demand distribution), offered
+load equals cluster egress capacity when::
+
+    λ * E_p[size] = total_cluster_bandwidth      (Mb/s)
+
+:func:`calibrated_arrival_rate` solves for λ;
+:class:`PoissonArrivalProcess` is an engine process that draws
+exponential inter-arrival times and a Zipf video choice per request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.workload.catalog import VideoCatalog
+from repro.workload.zipf import ZipfPopularity
+
+
+def offered_load(
+    arrival_rate: float,
+    popularity: ZipfPopularity,
+    catalog: VideoCatalog,
+    total_bandwidth: float,
+) -> float:
+    """Offered load as a fraction of cluster capacity (1.0 = saturating)."""
+    expected_size = popularity.expected_value(catalog.sizes)
+    return arrival_rate * expected_size / total_bandwidth
+
+
+def calibrated_arrival_rate(
+    popularity: ZipfPopularity,
+    catalog: VideoCatalog,
+    total_bandwidth: float,
+    load: float = 1.0,
+) -> float:
+    """Arrival rate (req/s) that offers ``load`` × cluster capacity.
+
+    Args:
+        popularity: demand distribution over the catalog.
+        catalog: the video catalog (for sizes).
+        total_bandwidth: sum of server bandwidths, Mb/s.
+        load: target offered load; the paper uses 1.0 throughout to
+            "place as much stress as possible on the system".
+    """
+    if load <= 0:
+        raise ValueError(f"load must be positive, got {load}")
+    if total_bandwidth <= 0:
+        raise ValueError(f"total bandwidth must be positive, got {total_bandwidth}")
+    expected_size = popularity.expected_value(catalog.sizes)
+    return load * total_bandwidth / expected_size
+
+
+class PoissonArrivalProcess:
+    """Generate requests with exponential inter-arrival times.
+
+    Each arrival draws a video id from *popularity* and invokes
+    ``on_arrival(video_id)``.  The process runs until stopped or until
+    the engine's run window ends.
+
+    Args:
+        engine: the simulation engine.
+        rate: arrival rate λ in requests/second.
+        popularity: demand distribution (video chooser).
+        rng: random stream dedicated to arrivals.
+        on_arrival: callback receiving the 0-based video id.
+        max_requests: optional hard cap on generated requests.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate: float,
+        popularity: ZipfPopularity,
+        rng: np.random.Generator,
+        on_arrival: Callable[[int], None],
+        max_requests: Optional[int] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.engine = engine
+        self.rate = float(rate)
+        self.popularity = popularity
+        self.rng = rng
+        self.on_arrival = on_arrival
+        self.max_requests = max_requests
+        self.generated = 0
+        self._process = Process(engine, self._run(), name="poisson-arrivals")
+
+    def _run(self) -> Generator[float, None, None]:
+        while self.max_requests is None or self.generated < self.max_requests:
+            yield float(self.rng.exponential(1.0 / self.rate))
+            video_id = self.popularity.sample(self.rng)
+            self.generated += 1
+            self.on_arrival(video_id)
+
+    @property
+    def done(self) -> bool:
+        return self._process.done
+
+    def stop(self) -> None:
+        """Stop generating further arrivals."""
+        self._process.stop()

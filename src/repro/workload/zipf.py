@@ -1,0 +1,92 @@
+"""Zipf-like popularity distribution with the paper's θ parameterisation.
+
+Section 4.1 of the paper defines the probability that a new request is
+for video ``i`` (1-indexed rank) as::
+
+    p_i = c / i**(1 - theta),      c = 1 / sum_i 1 / i**(1 - theta)
+
+so the *exponent* is ``1 − θ``:
+
+* ``θ = 1``  → exponent 0 → **uniform** demand;
+* ``θ = 0``  → exponent 1 → classic Zipf (highly skewed);
+* ``θ < 0``  → exponent > 1 → even more skewed — the paper sweeps down
+  to ``θ = −1.5`` to find where simple placement breaks.
+
+Larger catalogs are *more* skewed at a fixed θ (the tail gets longer and
+thinner), which the paper also notes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class ZipfPopularity:
+    """Zipf-like demand over ``n`` items, ranks 1 (hottest) … n (coldest).
+
+    Args:
+        n: catalog size (>= 1).
+        theta: the paper's skew parameter; exponent is ``1 - theta``.
+
+    Attributes:
+        probabilities: length-``n`` numpy vector summing to 1, in rank
+            order (index 0 = rank 1 = most popular).
+    """
+
+    def __init__(self, n: int, theta: float) -> None:
+        if n < 1:
+            raise ValueError(f"catalog size must be >= 1, got {n}")
+        self.n = int(n)
+        self.theta = float(theta)
+        ranks = np.arange(1, self.n + 1, dtype=np.float64)
+        weights = ranks ** -(1.0 - self.theta)
+        self.probabilities = weights / weights.sum()
+        # Cumulative distribution for O(log n) inverse-CDF sampling.
+        self._cdf = np.cumsum(self.probabilities)
+        self._cdf[-1] = 1.0  # guard against rounding
+
+    @property
+    def exponent(self) -> float:
+        """The Zipf exponent ``1 - theta``."""
+        return 1.0 - self.theta
+
+    def probability(self, rank: int) -> float:
+        """Demand probability of the video at *rank* (1-indexed)."""
+        if not 1 <= rank <= self.n:
+            raise ValueError(f"rank must be in [1, {self.n}], got {rank}")
+        return float(self.probabilities[rank - 1])
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw video indices (0-based, 0 = most popular).
+
+        Args:
+            rng: numpy generator.
+            size: None for a scalar int, otherwise an ndarray of ints.
+        """
+        u = rng.random(size)
+        idx = np.searchsorted(self._cdf, u, side="right")
+        if size is None:
+            return int(idx)
+        return idx.astype(np.int64)
+
+    def expected_value(self, values: Sequence[float]) -> float:
+        """Popularity-weighted mean of per-video *values* (rank order).
+
+        Used to calibrate the arrival rate: the expected size of a
+        requested video is ``E_p[size_i]``.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n,):
+            raise ValueError(
+                f"expected {self.n} values, got shape {values.shape}"
+            )
+        return float(np.dot(self.probabilities, values))
+
+    def skew_ratio(self) -> float:
+        """p_max / p_min — a simple scalar summary of the skew."""
+        return float(self.probabilities[0] / self.probabilities[-1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ZipfPopularity(n={self.n}, theta={self.theta})"

@@ -1,0 +1,65 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("fig4", "fig5", "fig6", "fig7", "svbr", "partial",
+                    "het", "ablation", "replication", "burst", "vcr",
+                    "mix", "run", "all"):
+            args = parser.parse_args(
+                [cmd] if cmd == "fig6" else [cmd]
+            )
+            assert args.command == cmd
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--system", "huge"])
+
+
+class TestMain:
+    def test_fig6_prints_matrix(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "P1" in out and "P8" in out and "20% Buffer" in out
+
+    def test_run_command(self, capsys):
+        code = main([
+            "run", "--system", "small", "--theta", "0.5",
+            "--hours", "0.5", "--warmup-hours", "0", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "utilization=" in out
+        assert "arrivals=" in out
+
+    def test_run_with_migration_and_staging(self, capsys):
+        code = main([
+            "run", "--system", "small", "--theta", "0.0",
+            "--staging", "0.2", "--migrate",
+            "--hours", "0.5", "--warmup-hours", "0",
+        ])
+        assert code == 0
+        assert "utilization=" in capsys.readouterr().out
+
+    def test_fig5_quiet_micro(self, capsys):
+        code = main([
+            "fig5", "--system", "small", "--scale", "0.0005", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "20% buffer" in out
+
+    def test_svbr_micro(self, capsys):
+        code = main(["svbr", "--scale", "0.0005", "--quiet"])
+        assert code == 0
+        assert "erlang-B" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Unit tests for heterogeneous client populations."""
+
+import pytest
+
+from repro import SMALL_SYSTEM, Simulation, SimulationConfig
+from repro.experiments.client_mix import mix_for, run_client_mix_series
+from repro.units import hours
+
+TINY = SMALL_SYSTEM.scaled(n_videos=60, name="tiny")
+
+
+class TestMixFor:
+    def test_endpoints_collapse_to_one_class(self):
+        assert mix_for(0.0) == ((1.0, 0.2),)
+        assert mix_for(1.0) == ((1.0, 0.0),)
+
+    def test_interior_two_classes(self):
+        mix = mix_for(0.25)
+        assert mix == ((0.25, 0.0), (0.75, 0.2))
+
+
+class TestConfigValidation:
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                system=TINY, theta=0.0, duration=10.0, client_mix=(),
+            )
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                system=TINY, theta=0.0, duration=10.0,
+                client_mix=((0.0, 0.2),),
+            )
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                system=TINY, theta=0.0, duration=10.0,
+                client_mix=((1.0, -0.1),),
+            )
+
+
+class TestMixedPopulation:
+    def test_profiles_sampled_from_both_classes(self):
+        sim = Simulation(SimulationConfig(
+            system=TINY, theta=0.27, duration=hours(1), seed=3,
+            client_mix=((0.5, 0.0), (0.5, 0.2)),
+        ))
+        caps = {sim.controller._profile_for(0).buffer_capacity
+                for _ in range(200)}
+        assert len(caps) == 2
+        assert 0.0 in caps
+
+    def test_mix_is_deterministic_per_seed(self):
+        def caps(seed):
+            sim = Simulation(SimulationConfig(
+                system=TINY, theta=0.27, duration=hours(1), seed=seed,
+                client_mix=((0.5, 0.0), (0.5, 0.2)),
+            ))
+            return [
+                sim.controller._profile_for(0).buffer_capacity
+                for _ in range(50)
+            ]
+
+        assert caps(7) == caps(7)
+
+    def test_all_staged_matches_homogeneous_config(self):
+        mixed = Simulation(SimulationConfig(
+            system=TINY, theta=0.27, duration=hours(3), seed=5,
+            client_mix=((1.0, 0.2),), client_receive_bandwidth=30.0,
+        )).run()
+        homogeneous = Simulation(SimulationConfig(
+            system=TINY, theta=0.27, duration=hours(3), seed=5,
+            staging_fraction=0.2, client_receive_bandwidth=30.0,
+        )).run()
+        assert mixed.utilization == pytest.approx(
+            homogeneous.utilization, abs=1e-12
+        )
+
+    def test_series_runs_and_orders(self):
+        result = run_client_mix_series(
+            system=TINY, legacy_fractions=(0.0, 1.0), scale=0.001, seed=2,
+        )
+        assert result.x_values == [0.0, 1.0]
+        util = result.means("utilization")
+        assert util[0] >= util[1] - 0.01

@@ -1,0 +1,26 @@
+"""Run the doctests embedded in public-API docstrings.
+
+Keeps the examples in module documentation honest — they are part of
+the documented contract.
+"""
+
+import doctest
+
+import pytest
+
+import repro.sim.engine
+import repro.sim.process
+import repro.sim.rng
+
+MODULES = [
+    repro.sim.engine,
+    repro.sim.process,
+    repro.sim.rng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,236 @@
+"""Unit tests for the experiment harness and the experiment modules.
+
+Experiment modules are run at micro scale (minutes of simulated time)
+— these tests pin plumbing: grids, labels, shapes of returned
+structures, scale resolution, seed pairing.  The *scientific* shapes
+are pinned by test_integration.py at more meaningful durations.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro import SMALL_SYSTEM, SimulationConfig
+from repro.analysis.stats import SummaryStats
+from repro.experiments import ablation, fig4_drm, fig5_staging, fig7_policies
+from repro.experiments import heterogeneity, partial_predictive, svbr
+from repro.experiments.base import (
+    ExperimentScale,
+    Variant,
+    resolve_scale,
+    run_sweep,
+    run_trials,
+)
+from repro.units import hours
+
+TINY = SMALL_SYSTEM.scaled(n_videos=60, name="tiny")
+
+#: Micro scale: ~4h+2h runs, 1 trial — enough to exercise plumbing.
+MICRO = 0.001
+
+
+def micro_config(**kw):
+    defaults = dict(system=TINY, theta=0.27, duration=hours(1), seed=1)
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+class TestResolveScale:
+    def test_full_scale_matches_paper(self):
+        s = resolve_scale(1.0)
+        assert s.trials == 5
+        assert s.duration - s.warmup == pytest.approx(hours(1000))
+
+    def test_small_scale_floors(self):
+        s = resolve_scale(0.0001)
+        assert s.trials == 1
+        assert s.duration - s.warmup == pytest.approx(hours(4))
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        s = resolve_scale(None)
+        assert s.scale == 0.5
+        assert s.trials == 5
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert resolve_scale(0.001).scale == 0.001
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_scale(0.0)
+
+    def test_describe_mentions_trials_and_hours(self):
+        text = resolve_scale(0.01).describe()
+        assert "trial" in text and "h measured" in text
+
+
+class TestRunTrials:
+    def test_seed_ladder_is_deterministic(self):
+        a = run_trials(micro_config(), trials=2, base_seed=5)
+        b = run_trials(micro_config(), trials=2, base_seed=5)
+        assert [r.utilization for r in a] == [r.utilization for r in b]
+
+    def test_trials_use_distinct_seeds(self):
+        results = run_trials(micro_config(), trials=2, base_seed=5)
+        assert results[0].config.seed != results[1].config.seed
+        assert results[0].arrivals != results[1].arrivals
+
+    def test_respects_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        results = run_trials(micro_config(), trials=2)
+        assert len(results) == 2
+
+
+class TestRunSweep:
+    def test_grid_shape_and_labels(self):
+        scale = ExperimentScale(
+            duration=hours(1.0), warmup=0.0, trials=1, scale=0.0
+        )
+        result = run_sweep(
+            micro_config(),
+            x_values=[0.0, 1.0],
+            variants=[
+                Variant("a", {"staging_fraction": 0.0}),
+                Variant("b", {"staging_fraction": 0.2}),
+            ],
+            scale=scale,
+        )
+        assert result.x_values == [0.0, 1.0]
+        assert set(result.curves) == {"a", "b"}
+        for label in ("a", "b"):
+            assert len(result.curves[label]) == 2
+            assert all(isinstance(s, SummaryStats) for s in result.curves[label])
+        assert len(result.means("a")) == 2
+        rendered = result.render(title="T")
+        assert "T" in rendered and "theta" in rendered
+
+    def test_progress_callback_invoked(self):
+        scale = ExperimentScale(duration=hours(0.5), warmup=0.0, trials=1, scale=0.0)
+        lines = []
+        run_sweep(
+            micro_config(),
+            x_values=[0.5],
+            variants=[Variant("only", {})],
+            scale=scale,
+            progress=lines.append,
+        )
+        assert len(lines) == 1
+        assert "only" in lines[0]
+
+    def test_custom_metric(self):
+        scale = ExperimentScale(duration=hours(0.5), warmup=0.0, trials=1, scale=0.0)
+        result = run_sweep(
+            micro_config(),
+            x_values=[0.5],
+            variants=[Variant("only", {})],
+            scale=scale,
+            metric="acceptance_ratio",
+        )
+        assert result.metric == "acceptance_ratio"
+        assert 0.0 <= result.means("only")[0] <= 1.0
+
+
+class TestExperimentModules:
+    def test_fig4_variants_per_system(self):
+        large_labels = [v.label for v in fig4_drm.variants_for("large")]
+        small_labels = [v.label for v in fig4_drm.variants_for("small")]
+        assert large_labels == [
+            "no migration", "hops per request = 1", "unlimited hops",
+        ]
+        assert small_labels == ["no migration", "migration: chain length = 1"]
+
+    def test_fig4_micro_run(self):
+        result = fig4_drm.run_fig4(
+            system=TINY, theta_values=[0.5], scale=MICRO
+        )
+        assert set(result.curves) == {
+            "no migration", "migration: chain length = 1",
+        }
+
+    def test_fig5_micro_run(self):
+        result = fig5_staging.run_fig5(
+            system=TINY, theta_values=[0.5],
+            fractions=(0.0, 0.2), scale=MICRO,
+        )
+        assert set(result.curves) == {"0% buffer", "20% buffer"}
+
+    def test_fig7_micro_run_with_policy_subset(self):
+        result = fig7_policies.run_fig7(
+            system=TINY, theta_values=[0.5],
+            policies=["P1", "P4"], scale=MICRO,
+        )
+        assert set(result.curves) == {"P1", "P4"}
+
+    def test_fig6_table_lists_all_policies(self):
+        table = fig7_policies.policy_matrix_table()
+        for i in range(1, 9):
+            assert f"P{i}" in table
+
+    def test_svbr_micro_run(self):
+        result = svbr.run_svbr(svbr_values=(5, 10), scale=MICRO)
+        assert result["svbr"] == [5, 10]
+        assert len(result["simulated"]) == 2
+        assert len(result["analytic"]) == 2
+        assert result["analytic"][0] < result["analytic"][1]
+        text = svbr.render_svbr(result)
+        assert "erlang-B" in text
+
+    def test_partial_predictive_micro_run(self):
+        result = partial_predictive.run_partial_predictive(
+            system=TINY, theta_values=[-1.0], scale=MICRO
+        )
+        assert set(result.curves) == {
+            "even", "partial predictive", "predictive",
+        }
+
+    def test_heterogeneity_micro_run(self):
+        result = heterogeneity.run_heterogeneity(
+            server_counts=(2,), scale=MICRO
+        )
+        assert result["counts"] == [2]
+        assert set(result["curves"]) == {
+            "homogeneous", "het bandwidth", "het storage",
+        }
+        text = heterogeneity.render_heterogeneity(result)
+        assert "servers" in text
+
+    def test_ablation_micro_run(self):
+        result = ablation.run_ablation(
+            system=TINY, theta_values=[0.5],
+            schedulers=("eftf", "none"), scale=MICRO,
+        )
+        assert set(result.curves) == {"eftf", "none"}
+
+    def test_dynamic_replication_micro_run(self):
+        from repro.experiments import dynamic_replication
+
+        result = dynamic_replication.run_dynamic_replication(
+            system=TINY, theta_values=[-1.0], scale=MICRO
+        )
+        assert set(result.curves) == {
+            "even (static)", "even + dynamic replication",
+            "predictive (oracle)",
+        }
+
+    def test_intermittent_burst_micro_run(self):
+        from repro.experiments import intermittent_burst
+
+        result = intermittent_burst.run_intermittent_burst(
+            system=TINY, multipliers=(1.0, 2.0), scale=MICRO
+        )
+        assert result["multipliers"] == [1.0, 2.0]
+        assert len(result["rows"]) == 2
+        text = intermittent_burst.render_intermittent_burst(result)
+        assert "minflow" in text
+
+    def test_interactivity_micro_run(self):
+        from repro.experiments import interactivity_vcr
+
+        result = interactivity_vcr.run_interactivity(
+            system=TINY, pauses_per_hour=(0.0, 4.0), scale=MICRO
+        )
+        assert result.x_label == "pauses_per_hour"
+        assert result.x_values == [0.0, 4.0]
+        assert set(result.curves) == {"no staging", "20% staging"}

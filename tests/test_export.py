@@ -1,0 +1,78 @@
+"""Unit tests for CSV export/import of sweep results."""
+
+import pytest
+
+from repro.analysis.export import load_sweep_csv, sweep_to_csv
+from repro.analysis.stats import summarize
+from repro.experiments.base import ExperimentScale, SweepResult
+
+
+def make_result():
+    scale = ExperimentScale(duration=100.0, warmup=0.0, trials=3, scale=0.1)
+    return SweepResult(
+        x_label="theta",
+        x_values=[0.0, 0.5, 1.0],
+        curves={
+            "a": [summarize([0.1, 0.2, 0.3]) for _ in range(3)],
+            "b": [summarize([0.8, 0.9]) for _ in range(3)],
+        },
+        metric="utilization",
+        scale=scale,
+    )
+
+
+class TestRoundTrip:
+    def test_csv_round_trip(self, tmp_path):
+        result = make_result()
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(result, path)
+        loaded = load_sweep_csv(path)
+        assert loaded["x_label"] == "theta"
+        assert loaded["x_values"] == [0.0, 0.5, 1.0]
+        assert set(loaded["curves"]) == {"a", "b"}
+        assert loaded["curves"]["a"][0] == pytest.approx(0.2, abs=1e-6)
+        lo, hi = loaded["curves_ci"]["a"][0]
+        assert lo < 0.2 < hi
+
+    def test_header_layout(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(make_result(), path)
+        header = path.read_text().splitlines()[0].split(",")
+        assert header[0] == "theta"
+        assert header[1:4] == ["a", "a_ci_low", "a_ci_high"]
+
+    def test_row_count(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(make_result(), path)
+        assert len(path.read_text().splitlines()) == 4  # header + 3
+
+
+class TestLoadImbalance:
+    def test_balanced_is_zero(self):
+        from repro.analysis.metrics import SimulationMetrics
+
+        m = SimulationMetrics()
+        m.record_bytes(0, 50.0, 0.0)
+        m.record_bytes(1, 50.0, 0.0)
+        assert m.load_imbalance({0: 1.0, 1: 1.0}, 100.0) == pytest.approx(0.0)
+
+    def test_skewed_load_positive(self):
+        from repro.analysis.metrics import SimulationMetrics
+
+        m = SimulationMetrics()
+        m.record_bytes(0, 90.0, 0.0)
+        m.record_bytes(1, 10.0, 0.0)
+        cv = m.load_imbalance({0: 1.0, 1: 1.0}, 100.0)
+        assert cv == pytest.approx(0.8)  # std 0.4 over mean 0.5
+
+    def test_idle_cluster_is_zero(self):
+        from repro.analysis.metrics import SimulationMetrics
+
+        m = SimulationMetrics()
+        assert m.load_imbalance({0: 1.0}, 100.0) == 0.0
+
+    def test_empty_rejected(self):
+        from repro.analysis.metrics import SimulationMetrics
+
+        with pytest.raises(ValueError):
+            SimulationMetrics().load_imbalance({}, 100.0)

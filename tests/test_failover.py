@@ -1,0 +1,120 @@
+"""Unit tests for server failure handling via DRM."""
+
+import pytest
+
+from repro.analysis.metrics import SimulationMetrics
+from repro.cluster.request import RequestState
+from repro.core.failover import FailoverManager
+from repro.core.migration import MigrationPolicy
+
+from conftest import build_micro_cluster, make_client, make_video
+
+
+def cluster_with_failover(holders, specs=None, rescue=None):
+    videos = [make_video(video_id=i) for i in range(len(holders))]
+    cluster = build_micro_cluster(
+        server_specs=specs or [(2.0, 1e9)] * 3,
+        videos=videos,
+        holders=holders,
+        migration=MigrationPolicy.paper_default(),
+    )
+    failover = FailoverManager(
+        cluster.engine,
+        cluster.servers,
+        cluster.managers,
+        cluster.placement,
+        cluster.metrics,
+        rescue_policy=rescue,
+    )
+    return cluster, failover
+
+
+class TestFailServer:
+    def test_orphans_relocate_to_other_holders(self):
+        cluster, failover = cluster_with_failover({0: [0, 1]})
+        a, _ = cluster.submit(0)
+        b, _ = cluster.submit(0)
+        # a on 0, b on 1 (least loaded alternation)
+        cluster.engine.run_until(10.0)
+        report = failover.fail_server(a.server_id)
+        assert report.dropped == []
+        assert report.relocated == [a.request_id]
+        assert a.server_id == b.server_id  # moved to the survivor
+        assert report.survival_ratio == 1.0
+
+    def test_orphans_dropped_when_no_home(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        a, _ = cluster.submit(0)
+        cluster.engine.run_until(5.0)
+        report = failover.fail_server(0)
+        assert report.dropped == [a.request_id]
+        assert a.state is RequestState.DROPPED
+        assert cluster.metrics.dropped == 1
+
+    def test_capacity_respected_during_relocation(self):
+        # Server 1 (bw=2) can absorb at most 2 orphans.
+        cluster, failover = cluster_with_failover(
+            {0: [0, 1]}, specs=[(3.0, 1e9), (2.0, 1e9)]
+        )
+        streams = []
+        for _ in range(3):
+            r, _ = cluster.submit(0)
+            streams.append(r)
+        on_zero = [r for r in streams if r.server_id == 0]
+        cluster.engine.run_until(1.0)
+        report = failover.fail_server(0)
+        survivors = cluster.servers[1]
+        assert survivors.active_count <= 2
+        assert len(report.relocated) + len(report.dropped) == len(on_zero)
+
+    def test_transfer_accounting_up_to_failure(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        cluster.submit(0, client=make_client(buffer_capacity=1e9))
+        cluster.engine.run_until(10.0)
+        failover.fail_server(0)
+        # The buffered stream ran 10 s at the full 2 Mb/s link.
+        assert cluster.metrics.bytes_per_server[0] == pytest.approx(20.0)
+
+    def test_down_server_rejects_admission(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        failover.fail_server(0)
+        from repro.core.admission import AdmissionOutcome
+
+        _, outcome = cluster.submit(0)
+        assert outcome is AdmissionOutcome.REJECTED_NO_REPLICA
+
+    def test_restore_rejoins_rotation(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        failover.fail_server(0)
+        failover.restore_server(0)
+        from repro.core.admission import AdmissionOutcome
+
+        _, outcome = cluster.submit(0)
+        assert outcome is AdmissionOutcome.ACCEPTED
+
+    def test_relocation_uses_chain_when_direct_full(self):
+        # video 0 on {0,1}, video 1 on {1,2}.  Server 1 full with a
+        # video-1 stream that can hop to server 2, making room for the
+        # orphaned video-0 stream.
+        cluster, failover = cluster_with_failover(
+            {0: [0, 1], 1: [1, 2]},
+            specs=[(1.0, 1e9), (1.0, 1e9), (1.0, 1e9)],
+        )
+        orphan, _ = cluster.submit(0)   # → server 0
+        blocker, _ = cluster.submit(1)  # → server 1 (least loaded of 1,2 tie → 1)
+        assert orphan.server_id == 0 and blocker.server_id == 1
+        cluster.engine.run_until(1.0)
+        report = failover.fail_server(0)
+        assert report.relocated == [orphan.request_id]
+        assert orphan.server_id == 1
+        assert blocker.server_id == 2
+
+    def test_reports_accumulate(self):
+        cluster, failover = cluster_with_failover({0: [0, 1]})
+        cluster.submit(0)
+        failover.fail_server(0)
+        failover.restore_server(0)
+        failover.fail_server(1)
+        assert len(failover.reports) == 2
+        assert failover.reports[0].server_id == 0
+        assert failover.reports[1].server_id == 1

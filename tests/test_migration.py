@@ -1,0 +1,261 @@
+"""Unit tests for DRM chain search and execution."""
+
+import pytest
+
+from repro.core.admission import AdmissionOutcome
+from repro.core.migration import (
+    MigrationPolicy,
+    execute_chain,
+    find_migration_chain,
+)
+
+from conftest import build_micro_cluster, make_client, make_video
+
+
+class TestMigrationPolicy:
+    def test_factories(self):
+        assert not MigrationPolicy.disabled().enabled
+        p = MigrationPolicy.paper_default()
+        assert p.enabled and p.max_chain_length == 1
+        assert p.max_hops_per_request == 1
+        u = MigrationPolicy.unlimited_hops()
+        assert u.max_hops_per_request is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationPolicy(max_chain_length=0)
+        with pytest.raises(ValueError):
+            MigrationPolicy(max_hops_per_request=-1)
+        with pytest.raises(ValueError):
+            MigrationPolicy(switch_delay=-1.0)
+
+
+def chain_cluster(max_chain=1, switch_delay=0.0, hops=None):
+    """Three servers, bw=1 each.  video 0 on {0,1}, video 1 on {1,2},
+    video 2 on {0}.  Chains of length 2 are possible: to free server 0
+    (for video 2), move its video-0 stream to server 1; if server 1 is
+    full, first move server 1's video-1 stream to server 2.
+    """
+    videos = [make_video(video_id=i) for i in range(3)]
+    return build_micro_cluster(
+        server_specs=[(1.0, 1e9)] * 3,
+        videos=videos,
+        holders={0: [0, 1], 1: [1, 2], 2: [0]},
+        migration=MigrationPolicy(
+            enabled=True,
+            max_chain_length=max_chain,
+            max_hops_per_request=hops,
+            switch_delay=switch_delay,
+        ),
+    )
+
+
+class TestChainSearch:
+    def test_direct_chain_found(self):
+        cluster = chain_cluster()
+        cluster.submit(0)  # server 0 full
+        chain = find_migration_chain(
+            2, cluster.servers, cluster.placement,
+            cluster.admission.migration_policy, now=0.0,
+        )
+        assert chain is not None
+        assert len(chain) == 1
+        assert chain[0].source_id == 0
+        assert chain[0].target_id == 1
+
+    def test_no_chain_when_disabled(self):
+        cluster = chain_cluster()
+        cluster.submit(0)
+        assert find_migration_chain(
+            2, cluster.servers, cluster.placement,
+            MigrationPolicy.disabled(), now=0.0,
+        ) is None
+
+    def test_chain_length_one_fails_when_two_needed(self):
+        cluster = chain_cluster(max_chain=1)
+        cluster.submit(0)  # video 0 → server 0 (tie, lowest id)
+        cluster.submit(1)  # video 1 → server 1 or 2: both empty → 1
+        # Server 0 full (video-0 stream), server 1 full (video-1 stream).
+        # Freeing server 0 needs its stream → server 1 (full) → chain 2.
+        chain = find_migration_chain(
+            2, cluster.servers, cluster.placement,
+            cluster.admission.migration_policy, now=0.0,
+        )
+        assert chain is None
+
+    def test_chain_length_two_succeeds(self):
+        cluster = chain_cluster(max_chain=2)
+        a, _ = cluster.submit(0)
+        b, _ = cluster.submit(1)
+        chain = find_migration_chain(
+            2, cluster.servers, cluster.placement,
+            cluster.admission.migration_policy, now=0.0,
+        )
+        assert chain is not None
+        assert len(chain) == 2
+        # Execution order: free server 1 first (move b→2), then a→1.
+        assert chain[0].request is b
+        assert chain[0].target_id == 2
+        assert chain[1].request is a
+        assert chain[1].target_id == 1
+
+    def test_admission_uses_long_chain(self):
+        cluster = chain_cluster(max_chain=2)
+        a, _ = cluster.submit(0)
+        b, _ = cluster.submit(1)
+        newcomer, outcome = cluster.submit(2)
+        assert outcome is AdmissionOutcome.ACCEPTED_WITH_MIGRATION
+        assert newcomer.server_id == 0
+        assert a.server_id == 1
+        assert b.server_id == 2
+        assert cluster.metrics.migrations == 2
+        assert cluster.metrics.migration_chains_found == 1
+        cluster.admission.metrics.sanity_check()
+
+    def test_chain_length_three(self):
+        """A three-hop displacement across a ring of four servers."""
+        # video i lives on servers {i, i+1}; video 3 only on {0}.
+        videos = [make_video(video_id=i) for i in range(4)]
+        cluster = build_micro_cluster(
+            server_specs=[(1.0, 1e9)] * 4,
+            videos=videos,
+            holders={0: [0, 1], 1: [1, 2], 2: [2, 3], 3: [0]},
+            migration=MigrationPolicy(
+                enabled=True, max_chain_length=3, max_hops_per_request=1,
+            ),
+        )
+        a, _ = cluster.submit(0)   # → server 0
+        b, _ = cluster.submit(1)   # → server 1
+        c, _ = cluster.submit(2)   # → server 2
+        # Server 3 is the only free node; admitting video 3 (held only
+        # by full server 0) needs a → 1, which needs b → 2, which needs
+        # c → 3: chain length 3.
+        newcomer, outcome = cluster.submit(3)
+        assert outcome is AdmissionOutcome.ACCEPTED_WITH_MIGRATION
+        assert newcomer.server_id == 0
+        assert (a.server_id, b.server_id, c.server_id) == (1, 2, 3)
+        assert cluster.metrics.migrations == 3
+        cluster.metrics.sanity_check()
+
+    def test_chain_length_two_insufficient_for_three_hop_problem(self):
+        videos = [make_video(video_id=i) for i in range(4)]
+        cluster = build_micro_cluster(
+            server_specs=[(1.0, 1e9)] * 4,
+            videos=videos,
+            holders={0: [0, 1], 1: [1, 2], 2: [2, 3], 3: [0]},
+            migration=MigrationPolicy(
+                enabled=True, max_chain_length=2, max_hops_per_request=1,
+            ),
+        )
+        cluster.submit(0)
+        cluster.submit(1)
+        cluster.submit(2)
+        _, outcome = cluster.submit(3)
+        assert outcome is AdmissionOutcome.REJECTED
+
+    def test_down_target_excluded(self):
+        cluster = chain_cluster()
+        cluster.submit(0)
+        cluster.servers[1].fail()
+        chain = find_migration_chain(
+            2, cluster.servers, cluster.placement,
+            cluster.admission.migration_policy, now=0.0,
+        )
+        assert chain is None
+
+    def test_paused_stream_not_movable(self):
+        cluster = chain_cluster()
+        a, _ = cluster.submit(0)
+        a.paused_until = 10.0
+        chain = find_migration_chain(
+            2, cluster.servers, cluster.placement,
+            cluster.admission.migration_policy, now=0.0,
+        )
+        assert chain is None
+
+
+class TestSwitchDelay:
+    def test_requires_buffer_coverage(self):
+        cluster = chain_cluster(switch_delay=5.0)
+        # Stream with zero buffer: not eligible to migrate.
+        a, _ = cluster.submit(0, client=make_client(buffer_capacity=0.0))
+        chain = find_migration_chain(
+            2, cluster.servers, cluster.placement,
+            cluster.admission.migration_policy, now=1.0,
+        )
+        assert chain is None
+
+    def test_buffered_stream_migrates_and_pauses(self):
+        # video 0 on {0,1}; videos 1 and 2 only on server 0 so the
+        # filler and the newcomer are pinned to server 0.
+        videos = [make_video(video_id=i) for i in range(3)]
+        cluster = build_micro_cluster(
+            server_specs=[(2.0, 1e9), (2.0, 1e9)],
+            videos=videos,
+            holders={0: [0, 1], 1: [0], 2: [0]},
+            migration=MigrationPolicy(
+                enabled=True, max_chain_length=1,
+                max_hops_per_request=1, switch_delay=5.0,
+            ),
+        )
+        # Stream alone on server 0 at 2 Mb/s builds buffer 1 Mb/s.
+        a, _ = cluster.submit(0, client=make_client(buffer_capacity=1e9))
+        assert a.server_id == 0
+        cluster.engine.run_until(10.0)  # buffer ≈ 10 Mb ≥ 5 s × 1 Mb/s
+        # Fill server 0's second slot (video 2 lives only there):
+        cluster.submit(2, client=make_client())
+        # Arrival for video 1 (only on 0): server 0 full (bw=2 → two
+        # slots) → migrate a to server 1.
+        newcomer, outcome = cluster.submit(1, client=make_client())
+        assert outcome is AdmissionOutcome.ACCEPTED_WITH_MIGRATION
+        moved = a if a.server_id == 1 else None
+        assert moved is not None
+        assert moved.paused_until == pytest.approx(10.0 + 5.0)
+        assert moved.rate == 0.0
+        # After the gap the stream resumes at >= b_view:
+        cluster.engine.run_until(15.5)
+        assert moved.rate >= moved.view_bandwidth - 1e-9
+
+    def test_playback_continuity_through_switch(self):
+        """During the switch gap the buffer drains but never underruns."""
+        videos = [make_video(video_id=i) for i in range(3)]
+        cluster = build_micro_cluster(
+            server_specs=[(2.0, 1e9), (2.0, 1e9)],
+            videos=videos,
+            holders={0: [0, 1], 1: [0], 2: [0]},
+            migration=MigrationPolicy(
+                enabled=True, max_chain_length=1,
+                max_hops_per_request=1, switch_delay=5.0,
+            ),
+        )
+        a, _ = cluster.submit(0, client=make_client(buffer_capacity=1e9))
+        cluster.engine.run_until(10.0)
+        cluster.submit(2, client=make_client())
+        cluster.submit(1, client=make_client())
+        assert a.server_id == 1  # migrated
+        for t in (11.0, 13.0, 15.0):
+            cluster.engine.run_until(t)
+            cluster.managers[1].flush(t)
+            # sent >= viewed at all times → no underrun
+            assert a.bytes_sent >= a.bytes_viewed(t) - 1e-6
+
+
+class TestExecuteChain:
+    def test_bytes_attributed_to_source_before_move(self):
+        videos = [make_video(video_id=0), make_video(video_id=1)]
+        cluster = build_micro_cluster(
+            server_specs=[(1.0, 1e9), (1.0, 1e9)],
+            videos=videos,
+            holders={0: [0, 1], 1: [0]},
+            migration=MigrationPolicy.paper_default(),
+        )
+        mover, _ = cluster.submit(0)
+        cluster.engine.run_until(40.0)
+        cluster.submit(1)  # triggers migration of mover at t=40
+        assert mover.server_id == 1
+        # All 40 Mb so far were sent by server 0.
+        assert cluster.metrics.bytes_per_server.get(0, 0.0) == pytest.approx(40.0)
+        cluster.engine.run_until(100.5)
+        cluster.managers[1].flush(100.5)
+        # Remaining 60 Mb from server 1.
+        assert cluster.metrics.bytes_per_server.get(1, 0.0) == pytest.approx(60.0)

@@ -1,0 +1,67 @@
+"""Unit tests for ASCII table/series rendering."""
+
+import pytest
+
+from repro.analysis.report import render_series, render_table, sparkline
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.123456]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.5000" in out
+        assert "4.1235" in out  # default precision 4
+
+    def test_title_prepended(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_custom_precision(self):
+        out = render_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out and "1.2346" not in out
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_strings_pass_through(self):
+        out = render_table(["name"], [["P4"]])
+        assert "P4" in out
+
+
+class TestRenderSeries:
+    def test_columns_per_curve(self):
+        out = render_series(
+            "theta", [0.0, 1.0],
+            {"up": [0.1, 0.9], "down": [0.9, 0.1]},
+        )
+        header = out.splitlines()[0]
+        assert "theta" in header and "up" in header and "down" in header
+        assert "0.9000" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"bad": [1.0]})
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(s) == 3
+
+    def test_nan_renders_blank(self):
+        s = sparkline([1.0, float("nan"), 2.0])
+        assert s[1] == " "
+
+    def test_width_downsampling(self):
+        s = sparkline(list(range(100)), width=10)
+        assert len(s) == 10
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 4) == "    "

@@ -1,0 +1,55 @@
+"""Unit tests for named random substreams."""
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(seed=7).get("arrivals").random(10)
+        b = RandomStreams(seed=7).get("arrivals").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=7).get("arrivals").random(10)
+        b = RandomStreams(seed=8).get("arrivals").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_keys_are_independent(self):
+        streams = RandomStreams(seed=7)
+        a = streams.get("arrivals").random(10)
+        b = streams.get("placement").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_unaffected_by_other_key_usage(self):
+        """The decoupling property: consuming one stream must not
+        perturb another (this is the whole point of the class)."""
+        s1 = RandomStreams(seed=42)
+        arrivals_1 = s1.get("arrivals").random(5)
+
+        s2 = RandomStreams(seed=42)
+        s2.get("placement").random(1000)  # unrelated consumption
+        arrivals_2 = s2.get("arrivals").random(5)
+        assert np.array_equal(arrivals_1, arrivals_2)
+
+    def test_get_returns_same_generator_instance(self):
+        streams = RandomStreams(seed=1)
+        assert streams.get("x") is streams.get("x")
+
+    def test_child_is_deterministic(self):
+        a = RandomStreams(seed=3).child("trial-1").get("arrivals").random(5)
+        b = RandomStreams(seed=3).child("trial-1").get("arrivals").random(5)
+        assert np.array_equal(a, b)
+
+    def test_children_differ_by_key(self):
+        root = RandomStreams(seed=3)
+        a = root.child("trial-1").get("arrivals").random(5)
+        b = root.child("trial-2").get("arrivals").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_child_streams_differ_from_parent(self):
+        root = RandomStreams(seed=3)
+        a = root.get("arrivals").random(5)
+        b = root.child("trial-1").get("arrivals").random(5)
+        assert not np.array_equal(a, b)

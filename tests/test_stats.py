@@ -1,0 +1,59 @@
+"""Unit tests for trial statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import SummaryStats, summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([0.5])
+        assert s.mean == 0.5
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 0.5
+        assert s.n == 1
+
+    def test_mean_and_std(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.mean == pytest.approx(3.0)
+        assert s.std == pytest.approx(math.sqrt(2.5))
+        assert s.minimum == 1.0 and s.maximum == 5.0
+
+    def test_ci_contains_mean_and_is_symmetric(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.ci_low < s.mean < s.ci_high
+        assert (s.mean - s.ci_low) == pytest.approx(s.ci_high - s.mean)
+
+    def test_ci_narrows_with_more_trials(self):
+        narrow = summarize([1.0, 2.0] * 20)
+        wide = summarize([1.0, 2.0])
+        assert narrow.ci_halfwidth < wide.ci_halfwidth
+
+    def test_higher_confidence_wider_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert (
+            summarize(data, confidence=0.99).ci_halfwidth
+            > summarize(data, confidence=0.90).ci_halfwidth
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_unknown_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=0.5)
+
+    def test_overlap_detection(self):
+        a = summarize([1.0, 1.1, 0.9])
+        b = summarize([1.05, 1.15, 0.95])
+        c = summarize([5.0, 5.1, 4.9])
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_str_rendering(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "±" in text and "n=2" in text

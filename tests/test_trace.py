@@ -1,0 +1,143 @@
+"""Unit tests for request traces."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Engine
+from repro.workload.trace import RequestSpec, Trace, generate_trace
+from repro.workload.zipf import ZipfPopularity
+
+
+class TestRequestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestSpec(-1.0, 0)
+        with pytest.raises(ValueError):
+            RequestSpec(1.0, -1)
+
+
+class TestTrace:
+    def test_sorted_on_construction(self):
+        t = Trace([RequestSpec(5.0, 1), RequestSpec(1.0, 2), RequestSpec(3.0, 3)])
+        assert [r.time for r in t] == [1.0, 3.0, 5.0]
+
+    def test_len_getitem_duration(self):
+        t = Trace([RequestSpec(1.0, 0), RequestSpec(4.0, 1)])
+        assert len(t) == 2
+        assert t[1].video_id == 1
+        assert t.duration == 4.0
+        assert Trace([]).duration == 0.0
+
+    def test_video_frequencies(self):
+        t = Trace([RequestSpec(1.0, 0), RequestSpec(2.0, 0), RequestSpec(3.0, 2)])
+        assert t.video_frequencies(3).tolist() == [2, 0, 1]
+
+    def test_window_rebases_times(self):
+        t = Trace([RequestSpec(float(i), i) for i in range(10)])
+        w = t.window(3.0, 6.0)
+        assert [r.time for r in w] == [0.0, 1.0, 2.0]
+        assert [r.video_id for r in w] == [3, 4, 5]
+
+    def test_flash_crowd_adds_requests_in_window(self, rng):
+        base = Trace([RequestSpec(float(i), 0) for i in range(100)])
+        crowded = base.with_flash_crowd(
+            video_id=7, start=10.0, duration=20.0, extra_rate=5.0, rng=rng
+        )
+        extra = [r for r in crowded if r.video_id == 7]
+        assert len(extra) > 50  # ~100 expected
+        assert all(10.0 <= r.time < 30.0 for r in extra)
+        assert len(crowded) == len(base) + len(extra)
+
+    def test_remapped_applies_permutation(self):
+        t = Trace([RequestSpec(1.0, 0), RequestSpec(2.0, 1)])
+        swapped = t.remapped(lambda v: 1 - v)
+        assert [r.video_id for r in swapped] == [1, 0]
+
+    def test_csv_roundtrip(self, tmp_path, rng):
+        pop = ZipfPopularity(5, 0.0)
+        t = generate_trace(100.0, 1.0, pop, rng)
+        path = tmp_path / "trace.csv"
+        t.save_csv(path)
+        loaded = Trace.load_csv(path)
+        assert len(loaded) == len(t)
+        for a, b in zip(t, loaded):
+            assert a.time == pytest.approx(b.time, abs=1e-6)
+            assert a.video_id == b.video_id
+
+    def test_schedule_on_replays_in_order(self):
+        engine = Engine()
+        t = Trace([RequestSpec(2.0, 5), RequestSpec(1.0, 3)])
+        seen = []
+        t.schedule_on(engine, lambda vid: seen.append((engine.now, vid)))
+        engine.run()
+        assert seen == [(1.0, 3), (2.0, 5)]
+
+
+class TestGenerateBurstyTrace:
+    def _trace(self, rng, bursts, duration=1000.0, rate=1.0):
+        from repro.workload.trace import generate_bursty_trace
+
+        pop = ZipfPopularity(5, 0.0)
+        return generate_bursty_trace(duration, rate, pop, rng, bursts=bursts)
+
+    def test_no_bursts_matches_plain_poisson_stats(self, rng):
+        t = self._trace(rng, bursts=(), duration=5000.0, rate=2.0)
+        assert 9500 <= len(t) <= 10500
+
+    def test_burst_window_is_denser(self, rng):
+        t = self._trace(
+            rng, bursts=[(400.0, 200.0, 5.0)], duration=1000.0, rate=1.0
+        )
+        inside = len(t.window(400.0, 600.0))
+        before = len(t.window(0.0, 200.0))
+        # 5x the rate over an equal-length window.
+        assert inside > 2.5 * max(before, 1)
+
+    def test_multiple_bursts(self, rng):
+        t = self._trace(
+            rng,
+            bursts=[(100.0, 50.0, 3.0), (500.0, 50.0, 3.0)],
+            duration=1000.0,
+            rate=2.0,
+        )
+        assert len(t.window(100.0, 150.0)) > len(t.window(200.0, 250.0))
+        assert len(t.window(500.0, 550.0)) > len(t.window(600.0, 650.0))
+
+    def test_overlapping_bursts_rejected(self, rng):
+        with pytest.raises(ValueError):
+            self._trace(rng, bursts=[(100.0, 100.0, 2.0), (150.0, 50.0, 2.0)])
+
+    def test_burst_outside_duration_rejected(self, rng):
+        with pytest.raises(ValueError):
+            self._trace(rng, bursts=[(900.0, 200.0, 2.0)], duration=1000.0)
+
+    def test_times_sorted_and_in_range(self, rng):
+        t = self._trace(rng, bursts=[(100.0, 100.0, 4.0)], duration=500.0)
+        times = [r.time for r in t]
+        assert times == sorted(times)
+        assert all(0.0 <= x < 500.0 for x in times)
+
+
+class TestGenerateTrace:
+    def test_count_matches_rate(self, rng):
+        pop = ZipfPopularity(3, 1.0)
+        t = generate_trace(1000.0, 10.0, pop, rng)
+        assert 9500 <= len(t) <= 10500
+
+    def test_times_within_duration(self, rng):
+        pop = ZipfPopularity(3, 1.0)
+        t = generate_trace(50.0, 2.0, pop, rng)
+        assert all(0.0 <= r.time < 50.0 for r in t)
+
+    def test_video_distribution(self, rng):
+        pop = ZipfPopularity(4, -0.5)
+        t = generate_trace(5000.0, 20.0, pop, rng)
+        freqs = t.video_frequencies(4) / len(t)
+        assert np.allclose(freqs, pop.probabilities, atol=0.02)
+
+    def test_invalid_args_rejected(self, rng):
+        pop = ZipfPopularity(2, 0.0)
+        with pytest.raises(ValueError):
+            generate_trace(0.0, 1.0, pop, rng)
+        with pytest.raises(ValueError):
+            generate_trace(10.0, 0.0, pop, rng)

@@ -1,0 +1,161 @@
+"""Unit tests for the per-server transmission manager.
+
+Uses hand-wired micro-clusters (see conftest) so each event boundary is
+checked against closed-form expectations.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.request import RequestState
+from repro.core.admission import AdmissionOutcome
+
+from conftest import build_micro_cluster, make_client, make_video
+
+
+def one_server_cluster(bandwidth=10.0, n_videos=1, length=100.0, allocator="eftf"):
+    videos = [make_video(video_id=i, length=length) for i in range(n_videos)]
+    return build_micro_cluster(
+        server_specs=[(bandwidth, 1e9)],
+        videos=videos,
+        holders={i: [0] for i in range(n_videos)},
+        allocator=allocator,
+    )
+
+
+class TestContinuousTransmission:
+    def test_single_stream_finishes_at_length(self):
+        cluster = one_server_cluster(allocator="none")
+        r, outcome = cluster.submit(0, client=make_client())
+        assert outcome is AdmissionOutcome.ACCEPTED
+        cluster.engine.run_until(99.0)
+        assert not r.transmission_finished
+        cluster.engine.run_until(101.0)
+        assert r.state is RequestState.FINISHED
+        assert r.finish_time == pytest.approx(100.0)
+        assert cluster.finished == [r]
+
+    def test_bytes_accounting_exact(self):
+        cluster = one_server_cluster(allocator="none")
+        cluster.submit(0, client=make_client())
+        cluster.engine.run_until(200.0)
+        cluster.managers[0].flush(200.0)
+        # 100 Mb video sent exactly once.
+        assert cluster.metrics.total_megabits == pytest.approx(100.0)
+
+    def test_stream_frees_slot_on_finish(self):
+        cluster = one_server_cluster(bandwidth=1.0, allocator="none")
+        r1, o1 = cluster.submit(0, client=make_client())
+        assert o1 is AdmissionOutcome.ACCEPTED
+        _, o2 = cluster.submit(0, client=make_client())
+        assert o2 is AdmissionOutcome.REJECTED  # link full
+        cluster.engine.run_until(100.5)
+        _, o3 = cluster.submit(0, client=make_client())
+        assert o3 is AdmissionOutcome.ACCEPTED  # r1 finished, slot free
+
+
+class TestWorkahead:
+    def test_unbounded_client_absorbs_full_link(self):
+        cluster = one_server_cluster(bandwidth=10.0)
+        r, _ = cluster.submit(0, client=make_client(buffer_capacity=math.inf))
+        # 100 Mb at 10 Mb/s → transmission done at t=10.
+        cluster.engine.run_until(10.5)
+        assert r.transmission_finished
+        assert r.finish_time == pytest.approx(10.0)
+        # Playback still runs to t=100 client-side:
+        assert r.playback_end == pytest.approx(100.0)
+
+    def test_buffer_full_drops_stream_to_view_rate(self):
+        cluster = one_server_cluster(bandwidth=10.0)
+        r, _ = cluster.submit(0, client=make_client(buffer_capacity=18.0))
+        # Fill rate 10, drain 1 → buffer full at t = 18/9 = 2 s.
+        cluster.engine.run_until(2.0)
+        assert r.buffer_occupancy(2.0) == pytest.approx(18.0, abs=1e-6)
+        cluster.engine.run_until(2.1)
+        assert r.rate == pytest.approx(1.0)  # back to minimum flow
+        # From t=2: 20 Mb sent, 80 left at 1 Mb/s → finish at 82.
+        cluster.engine.run_until(83.0)
+        assert r.finish_time == pytest.approx(82.0)
+
+    def test_receive_cap_limits_boost(self):
+        cluster = one_server_cluster(bandwidth=10.0)
+        r, _ = cluster.submit(
+            0, client=make_client(buffer_capacity=math.inf, receive_bandwidth=4.0)
+        )
+        cluster.engine.run_until(1.0)
+        assert r.rate == pytest.approx(4.0)
+
+    def test_early_finish_frees_capacity_for_later_arrivals(self):
+        """The smoothing mechanism: workahead now → free slots later."""
+        cluster = one_server_cluster(bandwidth=2.0, allocator="eftf")
+        fast, _ = cluster.submit(0, client=make_client(buffer_capacity=math.inf))
+        # Alone, the stream gets the whole 2 Mb/s link → done at t=50.
+        cluster.engine.run_until(51.0)
+        assert fast.transmission_finished
+        # Two more streams now fit (link fully free):
+        _, o1 = cluster.submit(0, client=make_client())
+        _, o2 = cluster.submit(0, client=make_client())
+        assert o1 is AdmissionOutcome.ACCEPTED
+        assert o2 is AdmissionOutcome.ACCEPTED
+
+    def test_eftf_two_streams_near_one_finishes_first(self):
+        cluster = one_server_cluster(bandwidth=3.0)
+        a, _ = cluster.submit(0, client=make_client(buffer_capacity=math.inf))
+        cluster.engine.run_until(20.0)
+        # a: sent 3*20=60, remaining 40.
+        b, _ = cluster.submit(0, client=make_client(buffer_capacity=math.inf))
+        # Now: base 1 each, spare 1 to a (remaining 40 < b's 100).
+        cluster.engine.run_until(20.1)
+        assert a.rate == pytest.approx(2.0)
+        assert b.rate == pytest.approx(1.0)
+        # a finishes at 20 + 40/2 = 40; then b gets everything.
+        cluster.engine.run_until(40.5)
+        assert a.transmission_finished
+        assert b.rate == pytest.approx(3.0)
+
+
+class TestBoundaryBookkeeping:
+    def test_no_events_when_idle(self):
+        cluster = one_server_cluster()
+        cluster.engine.run_until(1000.0)
+        assert cluster.engine.events_fired == 0
+
+    def test_boundary_event_rescheduled_on_admission(self):
+        cluster = one_server_cluster(bandwidth=10.0, allocator="none")
+        cluster.submit(0, client=make_client())
+        first_pending = cluster.engine.peek_time()
+        assert first_pending == pytest.approx(100.0)
+        cluster.engine.run_until(50.0)
+        cluster.submit(0, client=make_client())
+        # Two finish boundaries now exist: 100 and 150; next is 100.
+        assert cluster.engine.peek_time() == pytest.approx(100.0)
+
+    def test_flush_settles_partial_transfers(self):
+        cluster = one_server_cluster(allocator="none")
+        cluster.submit(0, client=make_client())
+        cluster.engine.run_until(30.0)
+        cluster.managers[0].flush(30.0)
+        assert cluster.metrics.total_megabits == pytest.approx(30.0)
+
+    def test_manager_sync_matches_request_sync(self):
+        """The manager's batched _sync_all must agree with the reference
+        Request.sync implementation."""
+        from repro.analysis.metrics import SimulationMetrics
+
+        cluster = one_server_cluster(bandwidth=10.0)
+        r, _ = cluster.submit(0, client=make_client(buffer_capacity=math.inf))
+        cluster.engine.run_until(3.0)
+        # Reference computation on a clone of the state:
+        ref = SimulationMetrics()
+        sent_before = r.bytes_sent
+        rate = r.rate
+        last = r.last_sync
+        cluster.managers[0].flush(5.0)
+        expected = min(sent_before + rate * (5.0 - last), r.size)
+        assert r.bytes_sent == pytest.approx(expected)
+
+    def test_reallocations_counted(self):
+        cluster = one_server_cluster()
+        cluster.submit(0, client=make_client())
+        assert cluster.managers[0].reallocations >= 1
