@@ -32,7 +32,7 @@ from repro.simulation import (
     run_simulation,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LARGE_SYSTEM",

@@ -5,23 +5,87 @@ this module writes the same data as CSV so results can be re-plotted
 (gnuplot/matplotlib/spreadsheets) without re-running the sweeps.
 Columns carry the mean plus the confidence-interval bounds so error
 bars survive the round trip.
+
+Every exported result file is accompanied by run metadata: a
+``<stem>.meta.json`` sidecar holding the sweep's provenance dict (seed,
+scale, ``repro.__version__``, UTC timestamp, ``REPRO_*`` environment
+overrides, config hash) so a CSV found on disk later is attributable to
+the exact inputs that produced it.  Obs metric registries export via
+:func:`snapshot_to_json`.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from repro.obs.provenance import run_provenance
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.experiments.base import SweepResult
+    from repro.obs.registry import MetricsRegistry
 
 
-def sweep_to_csv(result: "SweepResult", path: Union[str, Path]) -> None:
+def metadata_path(path: Union[str, Path]) -> Path:
+    """The sidecar path for a result file: ``fig5.csv`` → ``fig5.meta.json``."""
+    path = Path(path)
+    return path.with_name(path.stem + ".meta.json")
+
+
+def write_metadata(
+    path: Union[str, Path], provenance: Optional[Dict[str, Any]] = None
+) -> Path:
+    """Write the ``.meta.json`` sidecar for the result file at *path*.
+
+    Args:
+        path: the result file the metadata describes.
+        provenance: dict from
+            :func:`repro.obs.provenance.run_provenance`; a fresh one
+            (version/timestamp/env only) is generated when None.
+
+    Returns:
+        The sidecar path written.
+    """
+    side = metadata_path(path)
+    meta = dict(provenance) if provenance is not None else run_provenance()
+    meta["result_file"] = Path(path).name
+    with open(side, "w") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return side
+
+
+def snapshot_to_json(
+    registry: "MetricsRegistry",
+    path: Union[str, Path],
+    provenance: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a metrics-registry snapshot (plus provenance) as JSON."""
+    payload = {
+        "provenance": (
+            dict(provenance) if provenance is not None else run_provenance()
+        ),
+        "metrics": registry.snapshot(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def sweep_to_csv(
+    result: "SweepResult",
+    path: Union[str, Path],
+    metadata: bool = True,
+) -> None:
     """Write a :class:`~repro.experiments.base.SweepResult` as CSV.
 
     Layout: one row per x value; per curve three columns
     ``<label>``, ``<label>_ci_low``, ``<label>_ci_high``.
+
+    Unless *metadata* is False, the sweep's provenance is written to a
+    ``.meta.json`` sidecar next to the CSV (see :func:`write_metadata`).
     """
     labels = list(result.curves)
     header = [result.x_label]
@@ -42,6 +106,8 @@ def sweep_to_csv(result: "SweepResult", path: Union[str, Path]) -> None:
                     ]
                 )
             writer.writerow(row)
+    if metadata:
+        write_metadata(path, getattr(result, "provenance", None))
 
 
 def load_sweep_csv(path: Union[str, Path]) -> dict:

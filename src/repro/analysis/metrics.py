@@ -9,12 +9,22 @@ for the duration of the simulation."
 :class:`SimulationMetrics` is the concrete sink the transmission layer
 reports into; :class:`MetricsSink` is the minimal protocol, so tests
 can plug in recording fakes.
+
+When built with a :class:`repro.obs.registry.MetricsRegistry`, the
+fixed counters additionally *register into* named obs instruments
+(``requests.*`` counters, the ``drm.chain_length`` histogram,
+``server.<id>.rejections`` per-server counters) so downstream tooling
+can read one ``snapshot()`` dict; the dataclass fields remain the fast
+source of truth for the paper's measures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol
+from typing import TYPE_CHECKING, Dict, Optional, Protocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.obs.registry import MetricsRegistry
 
 
 class MetricsSink(Protocol):
@@ -56,6 +66,16 @@ class SimulationMetrics:
     #: with overbooked admission.
     underruns: int = 0
 
+    #: Saturation attribution: how often each server was a full replica
+    #: holder at the moment a request was turned away.
+    rejections_per_server: Dict[int, int] = field(default_factory=dict)
+
+    #: Optional obs registry the counters mirror into (see module
+    #: docstring).  Excluded from equality/repr: it is wiring, not data.
+    registry: Optional["MetricsRegistry"] = field(
+        default=None, repr=False, compare=False
+    )
+
     def reset(self) -> None:
         """Zero every counter (used at the end of a warmup window so
         measurements cover only the steady state)."""
@@ -71,6 +91,9 @@ class SimulationMetrics:
         self.finished = 0
         self.dropped = 0
         self.underruns = 0
+        self.rejections_per_server = {}
+        if self.registry is not None:
+            self.registry.reset()
 
     # ------------------------------------------------------------------
     # Transfer accounting
@@ -92,26 +115,68 @@ class SimulationMetrics:
     # ------------------------------------------------------------------
     def record_arrival(self) -> None:
         self.arrivals += 1
+        if self.registry is not None:
+            self.registry.counter("requests.arrivals").inc()
 
     def record_accept(self) -> None:
         self.accepted += 1
+        if self.registry is not None:
+            self.registry.counter("requests.accepted").inc()
 
-    def record_reject(self, no_replica: bool = False) -> None:
+    def record_reject(
+        self, no_replica: bool = False, holders: Sequence[int] = ()
+    ) -> None:
+        """Count one rejection.
+
+        Args:
+            no_replica: no live server held the video at all.
+            holders: server ids of the (saturated) replica holders that
+                could not take the request — attributed per server.
+        """
         self.rejected += 1
         if no_replica:
             self.rejected_no_replica += 1
+        for server_id in holders:
+            self.rejections_per_server[server_id] = (
+                self.rejections_per_server.get(server_id, 0) + 1
+            )
+        if self.registry is not None:
+            self.registry.counter("requests.rejected").inc()
+            if no_replica:
+                self.registry.counter("requests.rejected_no_replica").inc()
+            for server_id in holders:
+                self.registry.counter(f"server.{server_id}.rejections").inc()
 
     def record_migration(self, chain_length: int) -> None:
         """A successful DRM chain of the given length executed."""
         self.migrations += chain_length
         self.migration_chains_found += 1
+        if self.registry is not None:
+            self.registry.counter("drm.migrations").inc(chain_length)
+            self.registry.histogram("drm.chain_length").observe(chain_length)
 
     def record_migration_attempt(self) -> None:
         self.migration_attempts += 1
+        if self.registry is not None:
+            self.registry.counter("drm.attempts").inc()
 
     def record_underrun(self) -> None:
         """A stream's client buffer emptied while starved of bandwidth."""
         self.underruns += 1
+        if self.registry is not None:
+            self.registry.counter("streams.underruns").inc()
+
+    def record_finish(self) -> None:
+        """A stream completed transmission and playback hand-off."""
+        self.finished += 1
+        if self.registry is not None:
+            self.registry.counter("requests.finished").inc()
+
+    def record_drop(self) -> None:
+        """A live stream was lost (server failure with no rescue slot)."""
+        self.dropped += 1
+        if self.registry is not None:
+            self.registry.counter("requests.dropped").inc()
 
     # ------------------------------------------------------------------
     # Derived measures

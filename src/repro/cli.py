@@ -10,17 +10,27 @@ Subcommands regenerate each reproduced artifact::
     repro-vod replication | burst | vcr | mix       # extension studies
     repro-vod all --outdir results                  # everything + CSVs
     repro-vod run --system small --theta 0.3 --staging 0.2 --migrate
+    repro-vod trace fig5 --trace-out fig5.jsonl     # structured trace
 
 ``--scale`` (or REPRO_SCALE) trades fidelity for speed; 1.0 is the
 paper's 5 trials × 1000 h.
+
+Observability (see docs/OBSERVABILITY.md): every subcommand takes
+``--trace-out PATH`` (append structured JSONL trace records) and
+``--profile`` (per-event-kind wall-clock report on stderr).  Progress
+lines go to **stderr**, so stdout stays machine-readable and composes
+with ``--quiet``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
+from repro import __version__, obs
 from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SystemConfig
 from repro.core.migration import MigrationPolicy
 from repro.experiments import ablation as ablation_mod
@@ -32,10 +42,15 @@ from repro.experiments import intermittent_burst as burst_mod
 from repro.experiments import heterogeneity as het_mod
 from repro.experiments import partial_predictive as pp_mod
 from repro.experiments import svbr as svbr_mod
-from repro.simulation import SimulationConfig, run_simulation
+from repro.obs import profiler as profiling
+from repro.obs.runtime import PROFILE_VAR, TRACE_OUT_VAR
+from repro.simulation import Simulation, SimulationConfig, run_simulation
 from repro.units import hours
 
 SYSTEMS = {"small": SMALL_SYSTEM, "large": LARGE_SYSTEM}
+
+#: Experiments the ``trace`` subcommand knows how to run standalone.
+TRACE_EXPERIMENTS = ("fig4", "fig5", "fig7")
 
 
 def _system(name: str) -> SystemConfig:
@@ -46,7 +61,19 @@ def _system(name: str) -> SystemConfig:
 
 
 def _progress(quiet: bool):
-    return None if quiet else print
+    """Progress callback (stderr via the obs logger) or None when quiet."""
+    return obs.progress_printer(quiet)
+
+
+def _add_obs(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="append structured trace records (JSONL) to PATH",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="report per-event-kind wall clock on stderr",
+    )
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -57,6 +84,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--seed", type=int, default=0, help="root random seed")
     p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    _add_obs(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-vod",
         description="Semi-continuous transmission for cluster-based video "
                     "servers (CLUSTER 2001 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -134,8 +165,131 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", type=float, default=1.0)
     p.add_argument("--scheduler", default="eftf")
     p.add_argument("--seed", type=int, default=0)
+    _add_obs(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one representative traced simulation; dump JSONL + summary",
+    )
+    p.add_argument("experiment", choices=TRACE_EXPERIMENTS,
+                   help="which figure's setup to trace one run of")
+    p.add_argument("--system", default="small", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--trace-out", default="trace.jsonl", metavar="PATH",
+        help="JSONL output path (default: trace.jsonl)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="also report per-event-kind wall clock on stderr",
+    )
+    p.add_argument(
+        "--scale", type=float, default=None,
+        help="fidelity factor controlling the traced run's duration",
+    )
+    p.add_argument("--seed", type=int, default=0, help="random seed")
 
     return parser
+
+
+def _trace_config(
+    experiment: str, system: SystemConfig, seed: int, scale: Optional[float]
+) -> SimulationConfig:
+    """A representative single-run config for ``repro trace <experiment>``.
+
+    One mid-θ point of the figure's sweep, with the figure's mechanisms
+    switched on so the trace exercises every record family the setup
+    can produce (admission, rejection, migration, reallocation, ...).
+    """
+    from repro.experiments.base import resolve_scale
+
+    exp_scale = resolve_scale(scale)
+    common = dict(
+        system=system,
+        theta=0.0,
+        placement="even",
+        scheduler="eftf",
+        duration=exp_scale.duration,
+        warmup=exp_scale.warmup,
+        seed=seed,
+    )
+    if experiment == "fig4":
+        return SimulationConfig(
+            migration=MigrationPolicy.paper_default(),
+            staging_fraction=0.0,
+            **common,
+        )
+    if experiment == "fig5":
+        return SimulationConfig(
+            migration=MigrationPolicy.disabled(),
+            staging_fraction=0.2,
+            client_receive_bandwidth=30.0,
+            **common,
+        )
+    if experiment == "fig7":
+        # Policy P4: even placement + migration + 20 % staging.
+        return SimulationConfig(
+            migration=MigrationPolicy.paper_default(),
+            staging_fraction=0.2,
+            client_receive_bandwidth=30.0,
+            **common,
+        )
+    raise SystemExit(f"unknown trace experiment {experiment!r}")
+
+
+def _ensure_writable(path: str) -> None:
+    """Fail fast (before simulating for minutes) on an unwritable path."""
+    try:
+        with open(path, "a"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"cannot write trace output {path!r}: {exc}")
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace <experiment>``: one traced run, JSONL + summary."""
+    _ensure_writable(args.trace_out)
+    config = _trace_config(
+        args.experiment, _system(args.system), args.seed, args.scale
+    )
+    tracer = obs.Tracer()
+    profiler = obs.EventProfiler() if args.profile else None
+    sim = Simulation(config, tracer=tracer, profiler=profiler)
+    result = sim.run()
+    lines = tracer.export_jsonl(args.trace_out, provenance=result.provenance)
+    print(tracer.summary_table())
+    print(
+        f"wrote {lines} JSONL lines ({len(tracer.counts)} record kinds) "
+        f"to {args.trace_out}"
+    )
+    if profiler is not None:
+        print(profiler.report().render(), file=sys.stderr)
+    return 0
+
+
+@contextlib.contextmanager
+def _obs_env(trace_out: Optional[str], profile: bool):
+    """Export --trace-out/--profile as REPRO_* env for the dispatch.
+
+    The env route reaches every Simulation an experiment constructs —
+    including multi-trial sweeps — without threading options through
+    experiment signatures.  Previous values are restored on exit so
+    in-process callers (tests) don't leak state.
+    """
+    updates = {}
+    if trace_out:
+        updates[TRACE_OUT_VAR] = str(trace_out)
+    if profile:
+        updates[PROFILE_VAR] = "1"
+    saved = {var: os.environ.get(var) for var in updates}
+    os.environ.update(updates)
+    try:
+        yield
+    finally:
+        for var, old in saved.items():
+            if old is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = old
 
 
 def _run_all(args) -> int:
@@ -177,7 +331,13 @@ def _run_all(args) -> int:
         scale=scale, seed=seed, progress=progress), "EXT-MIX"))
 
     report_path = outdir / "all_artifacts.txt"
+    prov = obs.run_provenance(seed=seed, scale=scale)
     with open(report_path, "w") as fh:
+        fh.write(
+            f"# repro {prov['repro_version']} | seed={seed} "
+            f"scale={scale if scale is not None else 'default'} | "
+            f"{prov['timestamp_utc']}\n\n"
+        )
         fh.write(fig7_policies.policy_matrix_table() + "\n\n")
         for stem, result, title in jobs:
             text = result.render(title=title)
@@ -205,6 +365,27 @@ def _run_all(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.command == "trace":
+        return _cmd_trace(args)
+
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        _ensure_writable(trace_out)
+    profile = bool(getattr(args, "profile", False))
+    if profile:
+        # Per-invocation report: drop whatever a previous in-process
+        # call (tests) left in the aggregate.
+        profiling.reset_aggregate()
+    with _obs_env(trace_out, profile):
+        rc = _dispatch(args)
+    if profile:
+        report = profiling.aggregate_report()
+        if report is not None:
+            print(report.render(), file=sys.stderr)
+    return rc
+
+
+def _dispatch(args) -> int:
     if args.command == "fig6":
         print(fig7_policies.policy_matrix_table())
         return 0

@@ -22,6 +22,8 @@ from repro.core.admission import AdmissionController, AdmissionOutcome
 from repro.core.migration import MigrationPolicy
 from repro.core.schedulers import BandwidthAllocator
 from repro.core.transmission import TransmissionManager
+from repro.obs.records import TraceKind
+from repro.obs.tracer import Tracer
 from repro.placement.base import PlacementMap
 from repro.sim.engine import Engine
 from repro.workload.catalog import VideoCatalog
@@ -42,6 +44,9 @@ class DistributionController:
         migration_policy: DRM configuration.
         metrics: optional pre-built metrics object (a fresh one is
             created by default).
+        tracer: optional :class:`repro.obs.tracer.Tracer`; when given,
+            request-lifecycle, server and scheduler records are emitted
+            from every layer (zero overhead when None).
     """
 
     def __init__(
@@ -55,11 +60,13 @@ class DistributionController:
         migration_policy: MigrationPolicy,
         metrics: Optional[SimulationMetrics] = None,
         admission_mode: str = "minflow",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.engine = engine
         self.catalog = catalog
         self.placement = placement
         self.metrics = metrics if metrics is not None else SimulationMetrics()
+        self.tracer = tracer
         if callable(client_profile):
             self._profile_for = client_profile
         else:
@@ -70,10 +77,14 @@ class DistributionController:
         }
         self.managers: Dict[int, TransmissionManager] = {
             s.server_id: TransmissionManager(
-                engine, s, allocator, self.metrics, on_finish=self._on_finish
+                engine, s, allocator, self.metrics,
+                on_finish=self._on_finish, tracer=tracer,
             )
             for s in servers
         }
+        self._allocator_name = allocator.name
+        if tracer is not None:
+            allocator.obs_hook = self._on_allocate
         park_seconds = getattr(allocator, "park_seconds", 120.0)
         self.admission = AdmissionController(
             self.servers,
@@ -83,7 +94,11 @@ class DistributionController:
             self.metrics,
             mode=admission_mode,
             park_seconds=park_seconds,
+            tracer=tracer,
         )
+        registry = self.metrics.registry
+        if registry is not None:
+            registry.gauge("streams.active", supplier=lambda: self.active_count)
         #: Completed requests kept for post-run analysis (finished or
         #: dropped); rejected requests are only counted.
         self.completed: List[Request] = []
@@ -113,14 +128,66 @@ class DistributionController:
             client=self._profile_for(video_id),
             arrival_time=now,
         )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                TraceKind.REQUEST_ARRIVE, now,
+                request=request.request_id, video=video_id,
+            )
         outcome = self.admission.submit(request, now)
+        if tracer is not None:
+            if outcome.accepted:
+                tracer.emit(
+                    TraceKind.REQUEST_ADMIT, now,
+                    request=request.request_id, video=video_id,
+                    server=request.server_id,
+                    migrated=(
+                        outcome is AdmissionOutcome.ACCEPTED_WITH_MIGRATION
+                    ),
+                )
+            else:
+                tracer.emit(
+                    TraceKind.REQUEST_REJECT, now,
+                    request=request.request_id, video=video_id,
+                    reason=(
+                        "no_replica"
+                        if outcome is AdmissionOutcome.REJECTED_NO_REPLICA
+                        else "saturated"
+                    ),
+                )
         for hook in self.decision_hooks:
             hook(outcome, request)
         return outcome
 
     def _on_finish(self, request: Request) -> None:
-        self.metrics.finished += 1
+        self.metrics.record_finish()
         self.completed.append(request)
+        now = self.engine.now
+        registry = self.metrics.registry
+        if registry is not None:
+            # Buffer occupancy at transmission finish, in seconds of
+            # playback banked — the quantity client staging exists to
+            # maximise (Section 3.3's workahead).
+            registry.histogram("client.buffer_at_finish_seconds").observe(
+                request.buffer_occupancy(now) / request.view_bandwidth
+            )
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceKind.REQUEST_FINISH, now,
+                request=request.request_id, server=request.server_id,
+            )
+
+    def _on_allocate(self, server, requests, rates, now: float) -> None:
+        """Allocator obs hook: one ``sched.realloc`` record per pass."""
+        boosted = 0
+        for r in requests:
+            if rates[r.request_id] > r.view_bandwidth:
+                boosted += 1
+        self.tracer.emit(
+            TraceKind.SCHED_REALLOC, now,
+            server=server.server_id, allocator=self._allocator_name,
+            streams=len(rates), boosted=boosted,
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -11,7 +11,7 @@ accepted."
 from __future__ import annotations
 
 import enum
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.metrics import SimulationMetrics
 from repro.cluster.request import Request
@@ -22,6 +22,8 @@ from repro.core.migration import (
     find_migration_chain,
 )
 from repro.core.transmission import TransmissionManager
+from repro.obs.records import TraceKind
+from repro.obs.tracer import Tracer
 from repro.placement.base import PlacementMap
 
 
@@ -58,6 +60,7 @@ class AdmissionController:
             (see :mod:`repro.core.intermittent`).
         park_seconds: buffered-playback threshold for ``"overbook"``;
             should match the intermittent allocator's ``park_seconds``.
+        tracer: optional obs tracer for saturation/DRM-search records.
     """
 
     def __init__(
@@ -70,6 +73,7 @@ class AdmissionController:
         mode: str = "minflow",
         park_seconds: float = 120.0,
         overbook_factor: float = 3.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if mode not in ("minflow", "overbook"):
             raise ValueError(
@@ -87,6 +91,7 @@ class AdmissionController:
         self.mode = mode
         self.park_seconds = float(park_seconds)
         self.overbook_factor = float(overbook_factor)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def _has_slot(self, server: DataServer, request: Request, now: float) -> bool:
@@ -125,7 +130,9 @@ class AdmissionController:
     def submit(self, request: Request, now: float) -> AdmissionOutcome:
         """Run the full admission pipeline for *request*."""
         self.metrics.record_arrival()
-        holders = self.candidate_holders(request.video.video_id)
+        video_id = request.video.video_id
+        tracer = self.tracer
+        holders = self.candidate_holders(video_id)
         if not holders:
             request.mark_rejected()
             self.metrics.record_reject(no_replica=True)
@@ -139,18 +146,41 @@ class AdmissionController:
             self.metrics.record_accept()
             return AdmissionOutcome.ACCEPTED
 
+        holder_ids = [s.server_id for s in holders]
+        if tracer is not None:
+            # Every replica holder is full: the saturation event the
+            # DRM fallback (and capacity planning) cares about.
+            tracer.emit(
+                TraceKind.SERVER_SATURATE, now,
+                servers=holder_ids, video=video_id,
+            )
+
         if self.migration_policy.enabled:
             self.metrics.record_migration_attempt()
             chain = find_migration_chain(
-                request.video.video_id,
+                video_id,
                 self.servers,
                 self.placement,
                 self.migration_policy,
                 now,
                 slot_test=lambda s, r: self._has_slot(s, r, now),
             )
+            if tracer is not None:
+                if chain is not None:
+                    tracer.emit(
+                        TraceKind.DRM_CHAIN, now, video=video_id,
+                        length=len(chain),
+                        path=[
+                            (step.source_id, step.target_id) for step in chain
+                        ],
+                    )
+                else:
+                    tracer.emit(TraceKind.DRM_FAIL, now, video=video_id)
             if chain is not None:
-                execute_chain(chain, self.managers, self.migration_policy, now)
+                execute_chain(
+                    chain, self.managers, self.migration_policy, now,
+                    tracer=tracer,
+                )
                 freed_id = chain[-1].source_id
                 freed = self.servers[freed_id]
                 if not self._has_slot(freed, request, now):
@@ -164,7 +194,7 @@ class AdmissionController:
                             f"server {freed_id}"
                         )
                     request.mark_rejected()
-                    self.metrics.record_reject()
+                    self.metrics.record_reject(holders=holder_ids)
                     return AdmissionOutcome.REJECTED
                 self.managers[freed_id].admit(request, now)
                 self.metrics.record_accept()
@@ -172,5 +202,5 @@ class AdmissionController:
                 return AdmissionOutcome.ACCEPTED_WITH_MIGRATION
 
         request.mark_rejected()
-        self.metrics.record_reject()
+        self.metrics.record_reject(holders=holder_ids)
         return AdmissionOutcome.REJECTED

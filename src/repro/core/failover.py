@@ -25,6 +25,8 @@ from repro.core.migration import (
     find_migration_chain,
 )
 from repro.core.transmission import TransmissionManager
+from repro.obs.records import TraceKind
+from repro.obs.tracer import Tracer
 from repro.placement.base import PlacementMap
 from repro.sim.engine import Engine
 
@@ -56,6 +58,7 @@ class FailoverManager:
         metrics: run counters (dropped streams are recorded).
         rescue_policy: chain bounds used when making room for orphans;
             defaults to chain length 1 with unlimited hops.
+        tracer: optional obs tracer for fail/recover/drop records.
     """
 
     def __init__(
@@ -66,6 +69,7 @@ class FailoverManager:
         placement: PlacementMap,
         metrics: SimulationMetrics,
         rescue_policy: Optional[MigrationPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.engine = engine
         self.servers = servers
@@ -73,6 +77,7 @@ class FailoverManager:
         self.placement = placement
         self.metrics = metrics
         self.rescue_policy = rescue_policy or MigrationPolicy.unlimited_hops()
+        self.tracer = tracer
         self.reports: List[FailoverReport] = []
 
     # ------------------------------------------------------------------
@@ -85,6 +90,11 @@ class FailoverManager:
         manager.flush(now)
         orphans = server.fail()
         manager.deactivate(now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceKind.SERVER_FAIL, now,
+                server=server_id, orphans=len(orphans),
+            )
         report = FailoverReport(server_id=server_id, time=now)
         for request in orphans:
             request.rate = 0.0
@@ -92,8 +102,13 @@ class FailoverManager:
                 report.relocated.append(request.request_id)
             else:
                 request.mark_dropped(now)
-                self.metrics.dropped += 1
+                self.metrics.record_drop()
                 report.dropped.append(request.request_id)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        TraceKind.REQUEST_DROP, now,
+                        request=request.request_id, server=server_id,
+                    )
         self.reports.append(report)
         return report
 
@@ -102,6 +117,10 @@ class FailoverManager:
         server = self.servers[server_id]
         server.restore()
         self.managers[server_id].reallocate(self.engine.now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceKind.SERVER_RECOVER, self.engine.now, server=server_id
+            )
 
     # ------------------------------------------------------------------
     def _relocate(self, request: Request, now: float) -> bool:
@@ -121,7 +140,10 @@ class FailoverManager:
             video_id, self.servers, self.placement, self.rescue_policy, now
         )
         if chain is not None:
-            execute_chain(chain, self.managers, self.rescue_policy, now)
+            execute_chain(
+                chain, self.managers, self.rescue_policy, now,
+                tracer=self.tracer, cause="failover",
+            )
             freed = self.servers[chain[-1].source_id]
             if freed.has_slot_for(request):
                 self._move(request, freed.server_id, now)
@@ -135,4 +157,11 @@ class FailoverManager:
             request.paused_until = now + self.rescue_policy.switch_delay
         request.hops += 1
         self.metrics.migrations += 1
+        source_id = request.server_id
         self.managers[target_id].migrate_in(request, now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceKind.REQUEST_MIGRATE, now,
+                request=request.request_id,
+                source=source_id, target=target_id, cause="failover",
+            )

@@ -145,6 +145,9 @@ class IntermittentAllocator(BandwidthAllocator):
                 pool -= extra
                 if pool <= EPS_RATE:
                     break
+        hook = self.obs_hook
+        if hook is not None:
+            hook(server, requests, rates, now)
         return rates
 
     def _distribute_spare(self, rates, candidates, spare):  # pragma: no cover

@@ -24,6 +24,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.request import Request
 from repro.cluster.server import DataServer
+from repro.obs.records import TraceKind
+from repro.obs.tracer import Tracer
 from repro.placement.base import PlacementMap
 
 
@@ -220,10 +222,13 @@ def execute_chain(
     managers: Dict[int, "TransmissionManager"],  # noqa: F821 - hint only
     policy: MigrationPolicy,
     now: float,
+    tracer: Optional[Tracer] = None,
+    cause: str = "admission",
 ) -> None:
     """Carry out a chain: each stream leaves its source (syncing its
     transfer accounting there), optionally pauses for the switch gap,
-    and joins its target."""
+    and joins its target.  With a *tracer*, each displacement emits a
+    ``request.migrate`` record tagged with its *cause*."""
     for step in chain:
         request = step.request
         managers[step.source_id].migrate_out(request, now)
@@ -231,3 +236,9 @@ def execute_chain(
             request.paused_until = now + policy.switch_delay
         request.hops += 1
         managers[step.target_id].migrate_in(request, now)
+        if tracer is not None:
+            tracer.emit(
+                TraceKind.REQUEST_MIGRATE, now,
+                request=request.request_id,
+                source=step.source_id, target=step.target_id, cause=cause,
+            )

@@ -58,6 +58,13 @@ class BandwidthAllocator(abc.ABC):
     #: allocators (repro.core.intermittent) set this False.
     minimum_flow: bool = True
 
+    #: Optional observability hook, called as ``obs_hook(server,
+    #: requests, rates, now)`` after each allocation pass — the obs
+    #: tracer turns these into ``sched.realloc`` records.  This is the
+    #: simulator's hottest call site, so the off-path cost is kept to
+    #: one ``is None`` check.
+    obs_hook = None
+
     def allocate(
         self, server: DataServer, requests: Sequence[Request], now: float
     ) -> Dict[int, float]:
@@ -122,6 +129,9 @@ class BandwidthAllocator(abc.ABC):
                 candidates.append((remaining, r.request_id, r, extra_cap))
             if candidates:
                 self._distribute_spare(rates, candidates, spare)
+        hook = self.obs_hook
+        if hook is not None:
+            hook(server, requests, rates, now)
         return rates
 
     @abc.abstractmethod

@@ -29,6 +29,8 @@ from repro.analysis.metrics import MetricsSink
 from repro.cluster.request import EPS_MB, Request
 from repro.cluster.server import DataServer
 from repro.core.schedulers import EPS_RATE, BandwidthAllocator
+from repro.obs.records import TraceKind
+from repro.obs.tracer import Tracer
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 
@@ -43,6 +45,8 @@ class TransmissionManager:
         metrics: sink for transfer accounting.
         on_finish: callback invoked when a stream completes transmission
             (after it has been detached from the server).
+        tracer: optional obs tracer for buffer-full/underrun records
+            (zero overhead when None).
     """
 
     def __init__(
@@ -52,12 +56,14 @@ class TransmissionManager:
         allocator: BandwidthAllocator,
         metrics: MetricsSink,
         on_finish: Optional[Callable[[Request], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.engine = engine
         self.server = server
         self.allocator = allocator
         self.metrics = metrics
         self.on_finish = on_finish
+        self.tracer = tracer
         self._event: Optional[Event] = None
         self.reallocations = 0
 
@@ -233,6 +239,11 @@ class TransmissionManager:
             if not r.starved:
                 r.starved = True
                 self.metrics.record_underrun()
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        TraceKind.STREAM_UNDERRUN, now,
+                        request=r.request_id, server=self.server.server_id,
+                    )
             return math.inf
         r.starved = False
         resume_level = (
@@ -251,6 +262,8 @@ class TransmissionManager:
         self._event = None
         active = list(self.server.iter_active())
         self._sync_all(active, now)
+        if self.tracer is not None:
+            self._trace_full_buffers(active, now)
         finished = [r for r in active if r.transmission_finished]
         for r in finished:
             self.server.detach(r)
@@ -258,6 +271,30 @@ class TransmissionManager:
             if self.on_finish is not None:
                 self.on_finish(r)
         self.reallocate(now)
+
+    def _trace_full_buffers(self, active, now: float) -> None:
+        """Emit ``stream.buffer_full`` for boosted streams whose clients
+        just ran out of headroom (the boundary that triggered us).
+
+        Trace-only path: runs one extra scan per boundary event and only
+        when a tracer is attached.
+        """
+        for r in active:
+            vb = r.view_bandwidth
+            playing = now < r.playback_pause_time
+            if r.rate <= vb + EPS_RATE or not playing:
+                continue  # not boosted; can't have hit the buffer wall
+            sent = r.bytes_sent
+            if r.video.size - sent <= EPS_MB:
+                continue  # finishing, not filling
+            headroom = r.client.buffer_capacity - (
+                sent - (now - r.playback_start) * vb
+            )
+            if headroom <= EPS_MB:
+                self.tracer.emit(
+                    TraceKind.STREAM_BUFFER_FULL, now,
+                    request=r.request_id, server=self.server.server_id,
+                )
 
     # ------------------------------------------------------------------
     # End of run

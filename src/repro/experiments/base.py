@@ -24,6 +24,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.report import render_series
 from repro.analysis.stats import SummaryStats, summarize
+from repro.obs.provenance import run_provenance
+from repro.obs.runtime import obs_active
 from repro.simulation import Simulation, SimulationConfig, SimulationResult
 from repro.units import hours
 
@@ -115,6 +117,10 @@ def _run_one(config: SimulationConfig) -> SimulationResult:
 
 
 def _worker_count() -> int:
+    if obs_active():
+        # Tracing/profiling aggregate in-process (JSONL appends and the
+        # profile accumulator); keep trials on one worker.
+        return 1
     env = os.environ.get("REPRO_WORKERS")
     if env is not None:
         return max(1, int(env))
@@ -154,6 +160,9 @@ class SweepResult:
             measured metric.
         metric: which :class:`SimulationResult` field was measured.
         scale: the :class:`ExperimentScale` used.
+        provenance: run-provenance dict (seed, scale, version, REPRO_*
+            env) stamped by :func:`run_sweep`; exporters write it as a
+            ``.meta.json`` sidecar next to every result file.
     """
 
     x_label: str
@@ -161,6 +170,7 @@ class SweepResult:
     curves: Dict[str, List[SummaryStats]]
     metric: str
     scale: ExperimentScale
+    provenance: Optional[Dict] = None
 
     def means(self, label: str) -> List[float]:
         return [s.mean for s in self.curves[label]]
@@ -225,6 +235,12 @@ def run_sweep(
         curves=curves,
         metric=metric,
         scale=scale,
+        provenance=run_provenance(
+            seed=base_seed,
+            scale=scale.scale,
+            config=base,
+            extra={"metric": metric, "x_field": x_field},
+        ),
     )
 
 

@@ -1,0 +1,52 @@
+"""The obs logging layer: human chatter to stderr, data to stdout.
+
+Progress lines, profile reports and trace notices are *diagnostics*:
+they go to **stderr** via the ``repro`` logger so that stdout stays a
+clean, machine-readable channel (``repro-vod fig5 --quiet > out.txt``
+composes with ``--trace-out`` and shell pipelines).
+
+The handler resolves ``sys.stderr`` at emit time, so pytest's capture
+machinery and late stream redirections both behave.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Callable, Optional
+
+_LOGGER_NAME = "repro"
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` is at emit time."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            print(self.format(record), file=sys.stderr)
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+
+def get_logger() -> logging.Logger:
+    """The shared ``repro`` logger (stderr, message-only format)."""
+    logger = logging.getLogger(_LOGGER_NAME)
+    if not logger.handlers:
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+    return logger
+
+
+def progress_printer(quiet: bool = False) -> Optional[Callable[[str], None]]:
+    """A per-line progress callback routed through the obs logger.
+
+    Returns None when *quiet* — experiment runners treat a None
+    progress callback as "don't report".
+    """
+    if quiet:
+        return None
+    logger = get_logger()
+    return lambda message: logger.info(message)

@@ -1,0 +1,69 @@
+"""Run provenance: who produced this result, from what inputs.
+
+Every export (JSONL traces, CSV sidecars, the ``all`` report header)
+carries a provenance dict so a result file found on disk months later
+can be traced back to the exact seed, scale, package version and
+environment overrides that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional
+
+
+def config_hash(config: Any) -> str:
+    """Short stable digest of a config object.
+
+    Uses ``repr`` — the config dataclasses have deterministic reprs
+    covering every field (nested dataclasses included), so equal
+    configs hash equal and any field change changes the hash.
+    """
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:12]
+
+
+def repro_env_overrides() -> Dict[str, str]:
+    """The ``REPRO_*`` environment variables in effect (sorted)."""
+    return {
+        key: value
+        for key, value in sorted(os.environ.items())
+        if key.startswith("REPRO_")
+    }
+
+
+def run_provenance(
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    config: Any = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the provenance dict stamped into every export.
+
+    Args:
+        seed: root random seed of the run/sweep.
+        scale: fidelity factor (None when not applicable).
+        config: hashed into ``config_hash`` when given.
+        extra: caller-specific additions (merged last).
+    """
+    # Imported lazily: repro/__init__ imports modules that import this
+    # one, so a top-level import would be circular.
+    from repro import __version__
+
+    prov: Dict[str, Any] = {
+        "repro_version": __version__,
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "seed": seed,
+        "scale": scale,
+        "env": repro_env_overrides(),
+    }
+    if config is not None:
+        prov["config_hash"] = config_hash(config)
+    if extra:
+        prov.update(extra)
+    return prov

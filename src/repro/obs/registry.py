@@ -1,0 +1,218 @@
+"""Named metrics: counters, gauges and histograms with one snapshot API.
+
+:class:`repro.analysis.metrics.SimulationMetrics` *registers into* a
+:class:`MetricsRegistry` (when given one) rather than being replaced by
+it: the fixed dataclass counters stay the fast source of truth for the
+paper's Section 4.1 measures, while the registry carries the open-ended
+set — DRM chain-length distribution, per-server rejection counts,
+buffer-occupancy-at-finish histogram, live-stream gauges — that
+downstream tooling reads via :meth:`MetricsRegistry.snapshot`.
+
+Instruments are get-or-create by name, so independent subsystems can
+share one registry without coordination::
+
+    reg = MetricsRegistry()
+    reg.counter("requests.accepted").inc()
+    reg.histogram("drm.chain_length").observe(2)
+    reg.gauge("streams.active", supplier=lambda: controller.active_count)
+    reg.snapshot()                    # -> plain nested dict, JSON-ready
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Callable, Dict, Optional, Sequence
+
+#: Default histogram bucket upper bounds (generic log-ish spacing that
+#: covers chain lengths, seconds-of-buffer and queue depths alike).
+DEFAULT_BOUNDS: Sequence[float] = (
+    0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative inc {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value: settable, or computed by a supplier."""
+
+    __slots__ = ("name", "_value", "supplier")
+
+    def __init__(
+        self, name: str, supplier: Optional[Callable[[], float]] = None
+    ) -> None:
+        self.name = name
+        self._value = 0.0
+        self.supplier = supplier
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def snapshot(self) -> float:
+        if self.supplier is not None:
+            return float(self.supplier())
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with streaming summary statistics.
+
+    Buckets are cumulative-style upper bounds (``value <= bound``); an
+    implicit overflow bucket catches the rest.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS
+    ) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name}: bounds must be sorted")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        buckets = {
+            f"le_{bound:g}": n
+            for bound, n in zip(self.bounds, self.bucket_counts)
+        }
+        buckets["inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            self._check_free(name)
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(
+        self, name: str, supplier: Optional[Callable[[], float]] = None
+    ) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._check_free(name)
+            inst = self._gauges[name] = Gauge(name, supplier)
+        elif supplier is not None:
+            inst.supplier = supplier
+        return inst
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._check_free(name)
+            inst = self._histograms[name] = Histogram(name, bounds)
+        return inst
+
+    def _check_free(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(
+                f"metric name {name!r} already registered as another type"
+            )
+
+    # ------------------------------------------------------------------
+    def names(self) -> list:
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._histograms)
+        )
+
+    def reset(self) -> None:
+        """Zero every instrument (warmup-window reset)."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for inst in group.values():
+                inst.reset()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready dict of every instrument's current value."""
+        return {
+            "counters": {
+                name: c.snapshot() for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.snapshot() for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )

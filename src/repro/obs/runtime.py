@@ -1,0 +1,41 @@
+"""Environment-driven obs switches.
+
+The CLI flags ``--trace-out`` / ``--profile`` set these variables
+before dispatching, and :class:`repro.Simulation` reads them at build
+time, so observability reaches *every* run a command performs — sweep
+trials included — without threading options through each experiment
+signature.  ``repro.experiments.base`` drops to a single worker while
+either switch is active so traces and profiles aggregate in-process.
+
+* ``REPRO_TRACE_OUT=<path>`` — each run appends its JSONL trace
+  (prefixed with a ``run.meta`` provenance line) to *path*.
+* ``REPRO_PROFILE=1`` — each run profiles its engine and folds the
+  result into the process-wide aggregate
+  (:func:`repro.obs.profiler.aggregate_report`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+TRACE_OUT_VAR = "REPRO_TRACE_OUT"
+PROFILE_VAR = "REPRO_PROFILE"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def env_trace_path() -> Optional[str]:
+    """Path for JSONL trace appends, or None when tracing is off."""
+    path = os.environ.get(TRACE_OUT_VAR)
+    return path if path else None
+
+
+def env_profile_enabled() -> bool:
+    """Whether event profiling is requested via the environment."""
+    return os.environ.get(PROFILE_VAR, "").strip().lower() not in _FALSY
+
+
+def obs_active() -> bool:
+    """True when any env-driven instrument is on (forces one worker)."""
+    return env_profile_enabled() or env_trace_path() is not None

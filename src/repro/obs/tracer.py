@@ -1,0 +1,162 @@
+"""The Tracer: a bounded ring of typed records with JSONL export.
+
+Design constraints (from the tentpole):
+
+* **bounded memory** — records land in a ``deque(maxlen=capacity)``;
+  long runs keep the most recent window.  Per-kind *counts* are kept
+  separately and are exact over the whole run even after the ring
+  wraps.
+* **cheap when off** — instrumentation sites hold an
+  ``Optional[Tracer]`` and guard with one ``is None`` check; no record
+  objects are built unless a tracer is attached.
+* **cheap when on** — ``emit`` builds one small object and appends to
+  a deque; no formatting happens until export.
+
+Example:
+    >>> from repro.obs import TraceKind, Tracer
+    >>> tr = Tracer(capacity=2)
+    >>> tr.emit(TraceKind.REQUEST_ARRIVE, 1.0, request=1, video=3)
+    >>> tr.emit(TraceKind.REQUEST_ADMIT, 1.0, request=1, video=3, server=0)
+    >>> tr.emit(TraceKind.REQUEST_FINISH, 9.0, request=1, server=0)
+    >>> len(tr)                   # ring holds the newest 2
+    2
+    >>> tr.counts[TraceKind.REQUEST_ARRIVE]   # counts stay exact
+    1
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.obs.records import TraceKind, TraceRecord
+
+#: Default ring capacity — enough for a scaled-down experiment's full
+#: record stream while bounding a full-fidelity run to ~tens of MB.
+DEFAULT_CAPACITY = 200_000
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects into a bounded ring buffer.
+
+    Args:
+        capacity: maximum records retained (oldest evicted first).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: deque = deque(maxlen=self.capacity)
+        #: Exact per-kind emission counts (never truncated by the ring).
+        self.counts: Dict[TraceKind, int] = {}
+        self._emitted = 0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, kind: TraceKind, time: float, **fields: Any) -> None:
+        """Record one event at simulation *time*."""
+        self._ring.append(TraceRecord(time, kind, fields))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self._emitted += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Records currently in the ring (<= capacity)."""
+        return len(self._ring)
+
+    @property
+    def emitted(self) -> int:
+        """Total records emitted over the tracer's lifetime."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring bound."""
+        return self._emitted - len(self._ring)
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Yield retained records oldest-first."""
+        return iter(self._ring)
+
+    def records_of(self, kind: TraceKind) -> List[TraceRecord]:
+        """Retained records of one kind, oldest-first."""
+        return [r for r in self._ring if r.kind is kind]
+
+    def clear(self) -> None:
+        """Drop retained records and zero the counts (warmup reset)."""
+        self._ring.clear()
+        self.counts = {}
+        self._emitted = 0
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_jsonl(
+        self,
+        path: Union[str, Path],
+        provenance: Optional[dict] = None,
+        append: bool = False,
+    ) -> int:
+        """Write retained records to *path*, one JSON object per line.
+
+        A leading ``run.meta`` line carries *provenance* (plus the
+        tracer's own emitted/dropped accounting) when given.
+
+        Returns:
+            Number of lines written.
+        """
+        mode = "a" if append else "w"
+        lines = 0
+        with open(path, mode) as fh:
+            if provenance is not None:
+                meta = TraceRecord(
+                    0.0,
+                    TraceKind.RUN_META,
+                    {
+                        "provenance": provenance,
+                        "records": len(self._ring),
+                        "emitted": self._emitted,
+                        "dropped": self.dropped,
+                    },
+                )
+                fh.write(meta.to_json() + "\n")
+                lines += 1
+            for record in self._ring:
+                fh.write(record.to_json() + "\n")
+                lines += 1
+        return lines
+
+    def summary_table(self) -> str:
+        """ASCII table of per-kind counts (exact, whole-run)."""
+        if not self.counts:
+            return "trace: no records"
+        width = max(len(k.value) for k in self.counts)
+        lines = [f"{'kind':<{width}}  count", f"{'-' * width}  -----"]
+        for kind in sorted(self.counts, key=lambda k: k.value):
+            lines.append(f"{kind.value:<{width}}  {self.counts[kind]}")
+        lines.append(
+            f"({self._emitted} emitted, {len(self._ring)} retained, "
+            f"{self.dropped} evicted by ring bound {self.capacity})"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Tracer emitted={self._emitted} retained={len(self._ring)} "
+            f"capacity={self.capacity}>"
+        )
+
+
+def iter_jsonl(path: Union[str, Path]) -> Iterator[dict]:
+    """Parse a JSONL trace file back into dicts (skips blank lines)."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

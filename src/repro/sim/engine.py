@@ -22,7 +22,9 @@ general substrate (and is tested as one).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator, Optional
+import warnings
+from time import perf_counter
+from typing import Any, Callable, Iterator, List, Optional
 
 from repro.sim.events import Event
 
@@ -50,9 +52,15 @@ class Engine:
         self._events_fired = 0
         self._events_cancelled = 0
         self._running = False
-        #: Optional hook called as ``trace(event)`` just before each event
-        #: fires; useful for debugging and for test instrumentation.
-        self.trace: Optional[Callable[[Event], None]] = None
+        #: Subscribers called as ``fn(event)`` just before each event
+        #: fires — debugging, test instrumentation, and the obs tracer
+        #: coexist here.  Manage via :meth:`add_trace`/:meth:`remove_trace`.
+        self._trace_fns: List[Callable[[Event], None]] = []
+        self._trace_shim: Optional[Callable[[Event], None]] = None
+        #: Optional :class:`repro.obs.profiler.EventProfiler`; when set,
+        #: each callback's wall-clock is accounted per event kind.  The
+        #: off-path cost is a single ``is None`` check.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Clock & introspection
@@ -77,6 +85,45 @@ class Engine:
         """Number of events currently on the agenda (including cancelled
         handles not yet popped)."""
         return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Trace subscribers
+    # ------------------------------------------------------------------
+    def add_trace(self, fn: Callable[[Event], None]) -> None:
+        """Subscribe *fn* to be called with each event before it fires.
+
+        Multiple subscribers coexist and run in subscription order.
+        """
+        self._trace_fns.append(fn)
+
+    def remove_trace(self, fn: Callable[[Event], None]) -> None:
+        """Unsubscribe *fn* (ValueError if not subscribed)."""
+        self._trace_fns.remove(fn)
+        if fn is self._trace_shim:
+            self._trace_shim = None
+
+    @property
+    def trace(self) -> Optional[Callable[[Event], None]]:
+        """Deprecated single-subscriber view of the trace hooks.
+
+        Assigning replaces only the previously *assigned* hook;
+        subscribers added via :meth:`add_trace` are unaffected.  Use
+        :meth:`add_trace`/:meth:`remove_trace` in new code.
+        """
+        return self._trace_shim
+
+    @trace.setter
+    def trace(self, fn: Optional[Callable[[Event], None]]) -> None:
+        warnings.warn(
+            "Engine.trace is deprecated; use add_trace()/remove_trace()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._trace_shim is not None:
+            self._trace_fns.remove(self._trace_shim)
+        self._trace_shim = fn
+        if fn is not None:
+            self._trace_fns.append(fn)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next *live* event, or None if the agenda is empty.
@@ -151,10 +198,17 @@ class Engine:
                 self._events_cancelled += 1
                 continue
             self._now = event.time
-            if self.trace is not None:
-                self.trace(event)
+            if self._trace_fns:
+                for fn in self._trace_fns:
+                    fn(event)
             self._events_fired += 1
-            event._fire()
+            profiler = self.profiler
+            if profiler is None:
+                event._fire()
+            else:
+                t0 = perf_counter()
+                event._fire()
+                profiler.record(event.kind, perf_counter() - t0)
             return True
         return False
 

@@ -26,10 +26,11 @@ utilization and rejection statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.metrics import SimulationMetrics
 from repro.cluster.client import ClientProfile, staging_capacity
 from repro.cluster.controller import DistributionController
@@ -175,6 +176,10 @@ class SimulationResult:
     megabits_sent: float
     placement_shortfall: int
     events_fired: int
+    #: Who/what produced this run (seed, version, config hash, REPRO_*
+    #: env) — see :func:`repro.obs.provenance.run_provenance`.  Carries
+    #: a timestamp, so it is excluded from equality comparisons.
+    provenance: Dict = field(default_factory=dict, compare=False)
 
     def __str__(self) -> str:
         return (
@@ -190,12 +195,39 @@ class Simulation:
     Construction performs the static phase (catalog, placement, server
     wiring); :meth:`run` performs the dynamic phase.  A Simulation is
     single-use: call :meth:`run` once.
+
+    Observability (all optional, zero overhead when off):
+
+    * *tracer* — a :class:`repro.obs.Tracer` receiving structured
+      records from every layer; auto-created when ``REPRO_TRACE_OUT``
+      is set (the trace is appended there after :meth:`run`).
+    * *profiler* — a :class:`repro.obs.EventProfiler` accounting
+      per-event-kind wall clock; auto-created (and folded into the
+      process aggregate) when ``REPRO_PROFILE`` is on.
+    * :attr:`registry` — a :class:`repro.obs.MetricsRegistry` the run's
+      :class:`SimulationMetrics` registers into; snapshot via
+      ``sim.registry.snapshot()``.
     """
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        tracer: Optional[obs.Tracer] = None,
+        profiler: Optional[obs.EventProfiler] = None,
+    ) -> None:
         self.config = config
         self.streams = RandomStreams(seed=config.seed)
         self.engine = Engine()
+
+        self._trace_path = obs.env_trace_path()
+        if tracer is None and self._trace_path is not None:
+            tracer = obs.Tracer()
+        self.tracer = tracer
+        self._env_profile = obs.env_profile_enabled()
+        if profiler is None and self._env_profile:
+            profiler = obs.EventProfiler()
+        self.profiler = profiler
+        self.registry = obs.MetricsRegistry()
 
         system = config.system
         self.catalog: VideoCatalog = make_catalog(
@@ -259,7 +291,9 @@ class Simulation:
             client_profile=profile,
             allocator=ALLOCATORS[config.scheduler](),
             migration_policy=config.migration,
+            metrics=SimulationMetrics(registry=self.registry),
             admission_mode=config.admission,
+            tracer=self.tracer,
         )
 
         self.interactivity = None
@@ -310,16 +344,33 @@ class Simulation:
             raise RuntimeError("Simulation objects are single-use")
         self._ran = True
         cfg = self.config
-        if cfg.warmup > 0.0:
-            # Run the ramp-in, settle the transfer accounting at the
-            # warmup instant, then discard everything measured so far.
-            self.engine.run_until(cfg.warmup)
-            for manager in self.controller.managers.values():
-                manager.flush(cfg.warmup)
-            self.metrics.reset()
-        self.engine.run_until(cfg.duration)
+        if self.profiler is not None:
+            self.profiler.attach(self.engine)
+        try:
+            if cfg.warmup > 0.0:
+                # Run the ramp-in, settle the transfer accounting at the
+                # warmup instant, then discard everything measured so
+                # far.  (The tracer is deliberately *not* cleared: the
+                # ramp-in records are part of the debugging story.)
+                self.engine.run_until(cfg.warmup)
+                for manager in self.controller.managers.values():
+                    manager.flush(cfg.warmup)
+                self.metrics.reset()
+            self.engine.run_until(cfg.duration)
+        finally:
+            if self.profiler is not None:
+                self.profiler.detach()
         self._arrivals.stop()
         self.controller.finalize(cfg.duration)
+        provenance = obs.run_provenance(seed=cfg.seed, config=cfg)
+        if self.tracer is not None and self._trace_path is not None:
+            self.tracer.export_jsonl(
+                self._trace_path, provenance=provenance, append=True
+            )
+        if self.profiler is not None and self._env_profile:
+            from repro.obs import profiler as profiling
+
+            profiling.aggregate(self.profiler)
         metrics = self.metrics
         total_bw = cfg.system.total_bandwidth
         window = cfg.duration - cfg.warmup
@@ -341,6 +392,7 @@ class Simulation:
             megabits_sent=metrics.total_megabits,
             placement_shortfall=self.placement_result.shortfall,
             events_fired=self.engine.events_fired,
+            provenance=provenance,
         )
 
 

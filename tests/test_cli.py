@@ -63,3 +63,70 @@ class TestMain:
         code = main(["svbr", "--scale", "0.0005", "--quiet"])
         assert code == 0
         assert "erlang-B" in capsys.readouterr().out
+
+
+class TestObservabilityCLI:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_trace_subcommand_writes_valid_jsonl(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "t.jsonl"
+        code = main([
+            "trace", "fig5", "--system", "small",
+            "--scale", "0.001", "--trace-out", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "kind" in stdout and str(out) in stdout
+        with open(out) as fh:
+            records = [json.loads(line) for line in fh]
+        assert records[0]["kind"] == "run.meta"
+        assert "provenance" in records[0]
+        kinds = {r["kind"] for r in records[1:]}
+        assert len(kinds) >= 5
+        assert all("t" in r for r in records[1:])
+
+    def test_trace_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "fig6"])
+
+    def test_run_with_profile_reports_to_stderr(self, capsys):
+        code = main([
+            "run", "--system", "small", "--theta", "0.0",
+            "--hours", "0.5", "--warmup-hours", "0", "--profile",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "events/sec" in captured.err
+        assert "events/sec" not in captured.out
+
+    def test_run_trace_out_env_restored(self, tmp_path):
+        import os
+
+        out = tmp_path / "r.jsonl"
+        assert "REPRO_TRACE_OUT" not in os.environ
+        code = main([
+            "run", "--system", "small", "--theta", "0.0",
+            "--hours", "0.5", "--warmup-hours", "0",
+            "--trace-out", str(out),
+        ])
+        assert code == 0
+        assert "REPRO_TRACE_OUT" not in os.environ
+        assert out.exists() and out.stat().st_size > 0
+
+    def test_progress_goes_to_stderr_not_stdout(self, capsys):
+        code = main([
+            "fig5", "--system", "small", "--scale", "0.0005",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Figure 5" in captured.out
+        assert "utilization=" in captured.err
+        assert "theta=" not in captured.out

@@ -8,11 +8,13 @@ import doctest
 
 import pytest
 
+import repro.obs.tracer
 import repro.sim.engine
 import repro.sim.process
 import repro.sim.rng
 
 MODULES = [
+    repro.obs.tracer,
     repro.sim.engine,
     repro.sim.process,
     repro.sim.rng,

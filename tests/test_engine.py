@@ -175,3 +175,117 @@ class TestEventObject:
         handle = engine.schedule(1.0, lambda: None, payload={"x": 1}, kind="tagged")
         assert handle.payload == {"x": 1}
         assert handle.kind == "tagged"
+
+
+class TestTraceSubscribers:
+    def test_add_trace_multiple_subscribers_in_order(self, engine):
+        calls = []
+        engine.add_trace(lambda ev: calls.append(("a", ev.kind)))
+        engine.add_trace(lambda ev: calls.append(("b", ev.kind)))
+        engine.schedule(1.0, lambda: None, kind="ping")
+        engine.run()
+        assert calls == [("a", "ping"), ("b", "ping")]
+
+    def test_remove_trace_stops_delivery(self, engine):
+        seen = []
+        fn = lambda ev: seen.append(ev.kind)  # noqa: E731
+        engine.add_trace(fn)
+        engine.schedule(1.0, lambda: None, kind="one")
+        engine.run()
+        engine.remove_trace(fn)
+        engine.schedule(1.0, lambda: None, kind="two")
+        engine.run()
+        assert seen == ["one"]
+
+    def test_remove_unsubscribed_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.remove_trace(lambda ev: None)
+
+    def test_deprecated_trace_setter_warns_and_works(self, engine):
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            engine.trace = lambda ev: seen.append(ev.kind)
+        engine.schedule(1.0, lambda: None, kind="ping")
+        engine.run()
+        assert seen == ["ping"]
+
+    def test_shim_coexists_with_subscribers(self, engine):
+        calls = []
+        engine.add_trace(lambda ev: calls.append("sub"))
+        with pytest.warns(DeprecationWarning):
+            engine.trace = lambda ev: calls.append("shim1")
+        with pytest.warns(DeprecationWarning):
+            engine.trace = lambda ev: calls.append("shim2")  # replaces shim1
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert calls == ["sub", "shim2"]
+
+    def test_shim_getter_reflects_assignment(self, engine):
+        assert engine.trace is None
+        fn = lambda ev: None  # noqa: E731
+        with pytest.warns(DeprecationWarning):
+            engine.trace = fn
+        assert engine.trace is fn
+        engine.remove_trace(fn)
+        assert engine.trace is None
+
+
+class TestCancellationAccounting:
+    """events_cancelled must count each dead handle exactly once,
+    however peek_time() and step() interleave over the agenda."""
+
+    def test_peek_then_step_does_not_double_count(self, engine):
+        engine.schedule(1.0, lambda: None).cancel()
+        engine.schedule(2.0, lambda: None).cancel()
+        engine.schedule(3.0, lambda: None)
+        assert engine.peek_time() == 3.0  # discards both dead handles
+        assert engine.events_cancelled == 2
+        assert engine.step() is True
+        assert engine.events_cancelled == 2  # not recounted by step()
+        assert engine.events_fired == 1
+
+    def test_step_alone_counts_each_once(self, engine):
+        engine.schedule(1.0, lambda: None).cancel()
+        engine.schedule(2.0, lambda: None)
+        assert engine.step() is True
+        assert engine.events_cancelled == 1
+        assert engine.step() is False
+        assert engine.events_cancelled == 1
+
+    def test_repeated_peek_is_idempotent(self, engine):
+        engine.schedule(1.0, lambda: None).cancel()
+        engine.schedule(2.0, lambda: None)
+        for _ in range(3):
+            assert engine.peek_time() == 2.0
+        assert engine.events_cancelled == 1
+
+    def test_cancel_after_peek_counts_on_next_sweep(self, engine):
+        live = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.peek_time() == 1.0
+        live.cancel()  # now dead, but already surveyed once
+        assert engine.peek_time() == 2.0
+        assert engine.events_cancelled == 1
+
+    def test_run_until_accounts_interleaved_cancellations(self, engine):
+        handles = [engine.schedule(float(i), lambda: None) for i in range(1, 7)]
+        for h in handles[::2]:
+            h.cancel()
+        engine.run_until(10.0)
+        assert engine.events_fired == 3
+        assert engine.events_cancelled == 3
+        assert engine.pending_count == 0
+
+    def test_pending_count_vs_live_after_mass_cancellation(self, engine):
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(50)]
+        for h in handles[5:]:
+            h.cancel()
+        # pending_count includes dead handles still on the heap ...
+        assert engine.pending_count == 50
+        # ... while iter_pending() yields only the live ones.
+        assert sum(1 for _ in engine.iter_pending()) == 5
+        engine.run()
+        assert engine.events_fired == 5
+        assert engine.events_cancelled == 45
+        assert engine.pending_count == 0
+        assert sum(1 for _ in engine.iter_pending()) == 0

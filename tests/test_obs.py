@@ -1,0 +1,429 @@
+"""Unit tests for the observability package (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    EventProfiler,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceKind,
+    TraceRecord,
+    Tracer,
+    config_hash,
+    env_profile_enabled,
+    env_trace_path,
+    obs_active,
+    run_provenance,
+)
+from repro.obs.records import KIND_FIELDS
+from repro.obs.runtime import PROFILE_VAR, TRACE_OUT_VAR
+from repro.obs.tracer import iter_jsonl
+from repro.obs import profiler as profiling
+from repro.sim.engine import Engine
+
+
+class TestTraceRecord:
+    def test_to_dict_flattens_fields(self):
+        rec = TraceRecord(1.5, TraceKind.REQUEST_ADMIT, {"request": 7, "server": 2})
+        assert rec.to_dict() == {
+            "t": 1.5, "kind": "request.admit", "request": 7, "server": 2,
+        }
+
+    def test_to_json_round_trips(self):
+        rec = TraceRecord(0.0, TraceKind.SERVER_FAIL, {"server": 3, "orphans": 4})
+        assert json.loads(rec.to_json()) == rec.to_dict()
+
+    def test_every_kind_has_a_field_schema(self):
+        for kind in TraceKind:
+            assert kind in KIND_FIELDS
+
+
+class TestTracer:
+    def test_emit_and_counts(self):
+        tr = Tracer()
+        tr.emit(TraceKind.REQUEST_ARRIVE, 1.0, request=1, video=2)
+        tr.emit(TraceKind.REQUEST_ARRIVE, 2.0, request=2, video=2)
+        tr.emit(TraceKind.REQUEST_REJECT, 2.0, request=2, video=2, reason="saturated")
+        assert len(tr) == 3
+        assert tr.emitted == 3
+        assert tr.counts[TraceKind.REQUEST_ARRIVE] == 2
+        assert tr.counts[TraceKind.REQUEST_REJECT] == 1
+
+    def test_ring_bound_evicts_oldest_but_counts_stay_exact(self):
+        tr = Tracer(capacity=3)
+        for i in range(10):
+            tr.emit(TraceKind.REQUEST_ARRIVE, float(i), request=i)
+        assert len(tr) == 3
+        assert tr.emitted == 10
+        assert tr.dropped == 7
+        assert tr.counts[TraceKind.REQUEST_ARRIVE] == 10
+        assert [r.fields["request"] for r in tr.records()] == [7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_records_of_filters_by_kind(self):
+        tr = Tracer()
+        tr.emit(TraceKind.REQUEST_ARRIVE, 1.0, request=1)
+        tr.emit(TraceKind.REQUEST_FINISH, 5.0, request=1)
+        assert [r.kind for r in tr.records_of(TraceKind.REQUEST_FINISH)] == [
+            TraceKind.REQUEST_FINISH
+        ]
+
+    def test_clear_zeroes_everything(self):
+        tr = Tracer()
+        tr.emit(TraceKind.REQUEST_ARRIVE, 1.0, request=1)
+        tr.clear()
+        assert len(tr) == 0 and tr.emitted == 0 and tr.counts == {}
+
+    def test_export_jsonl_valid_lines_with_meta_header(self, tmp_path):
+        tr = Tracer()
+        tr.emit(TraceKind.REQUEST_ARRIVE, 1.0, request=1, video=0)
+        tr.emit(TraceKind.REQUEST_ADMIT, 1.0, request=1, video=0, server=2)
+        path = tmp_path / "trace.jsonl"
+        lines = tr.export_jsonl(path, provenance={"seed": 42})
+        assert lines == 3
+        parsed = list(iter_jsonl(path))
+        assert parsed[0]["kind"] == "run.meta"
+        assert parsed[0]["provenance"] == {"seed": 42}
+        assert parsed[0]["emitted"] == 2
+        assert [p["kind"] for p in parsed[1:]] == [
+            "request.arrive", "request.admit",
+        ]
+
+    def test_export_jsonl_append_mode(self, tmp_path):
+        tr = Tracer()
+        tr.emit(TraceKind.REQUEST_ARRIVE, 1.0, request=1)
+        path = tmp_path / "trace.jsonl"
+        tr.export_jsonl(path)
+        tr.export_jsonl(path, append=True)
+        assert len(list(iter_jsonl(path))) == 2
+
+    def test_summary_table_lists_kinds_and_totals(self):
+        tr = Tracer()
+        for _ in range(4):
+            tr.emit(TraceKind.REQUEST_ARRIVE, 0.0, request=0)
+        tr.emit(TraceKind.SERVER_FAIL, 1.0, server=0, orphans=0)
+        table = tr.summary_table()
+        assert "request.arrive" in table and "4" in table
+        assert "server.fail" in table
+        assert "5 emitted" in table
+
+    def test_summary_table_empty(self):
+        assert "no records" in Tracer().summary_table()
+
+
+class TestRegistry:
+    def test_counter_inc_and_snapshot(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.snapshot() == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_supplier(self):
+        g = Gauge("g")
+        g.set(7)
+        assert g.snapshot() == 7.0
+        live = Gauge("live", supplier=lambda: 13)
+        assert live.snapshot() == 13.0
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(55.5)
+        assert snap["mean"] == pytest.approx(18.5)
+        assert snap["min"] == 0.5 and snap["max"] == 50.0
+        assert snap["buckets"] == {"le_1": 1, "le_10": 1, "inf": 1}
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_histogram_empty_snapshot(self):
+        snap = Histogram("h", bounds=(1.0,)).snapshot()
+        assert snap["count"] == 0 and snap["min"] is None and snap["max"] is None
+
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_cross_type_name_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_snapshot_structure_is_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat", bounds=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"] == {"hits": 3.0}
+        assert snap["gauges"] == {"depth": 2.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_reset_zeroes_all_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 0.0
+        assert snap["gauges"]["g"] == 0.0
+        assert snap["histograms"]["h"]["count"] == 0
+
+    def test_names_sorted_across_types(self):
+        reg = MetricsRegistry()
+        reg.histogram("z")
+        reg.counter("a")
+        reg.gauge("m")
+        assert reg.names() == ["a", "m", "z"]
+
+
+class TestProfiler:
+    def test_record_groups_kind_by_prefix(self):
+        p = EventProfiler()
+        p.record("tx-boundary:srv7", 0.001)
+        p.record("tx-boundary:srv3", 0.002)
+        p.record("arrival", 0.003)
+        report = p.report()
+        assert set(report.by_kind) == {"tx-boundary", "arrival"}
+        assert report.by_kind["tx-boundary"][0] == 2
+
+    def test_report_render_mentions_events_per_sec(self):
+        p = EventProfiler()
+        p.record("arrival", 0.5)
+        text = p.report().render()
+        assert "arrival" in text
+        assert "events/sec" in text
+
+    def test_attach_detach_engine_integration(self):
+        engine = Engine()
+        p = EventProfiler()
+        p.attach(engine)
+        engine.schedule(1.0, lambda: None, kind="ping:a")
+        engine.schedule(2.0, lambda: None, kind="ping:b")
+        engine.run()
+        p.detach()
+        assert engine.profiler is None
+        assert p.events == 2
+        assert p.report().by_kind["ping"][0] == 2
+
+    def test_double_attach_raises(self):
+        engine = Engine()
+        EventProfiler().attach(engine)
+        with pytest.raises(RuntimeError):
+            EventProfiler().attach(engine)
+
+    def test_engine_profiling_off_by_default(self):
+        engine = Engine()
+        assert engine.profiler is None
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_fired == 1
+
+    def test_merge_into_and_aggregate(self):
+        profiling.reset_aggregate()
+        a = EventProfiler()
+        a.record("x", 0.1)
+        b = EventProfiler()
+        b.record("x", 0.2)
+        b.record("y", 0.3)
+        profiling.aggregate(a)
+        profiling.aggregate(b)
+        report = profiling.aggregate_report()
+        assert report.by_kind["x"][0] == 2
+        assert report.by_kind["x"][1] == pytest.approx(0.3)
+        profiling.reset_aggregate()
+        assert profiling.aggregate_report() is None
+
+
+class TestProvenance:
+    def test_keys_present(self):
+        prov = run_provenance(seed=5, scale=0.02)
+        for key in ("repro_version", "timestamp_utc", "python", "seed",
+                    "scale", "env"):
+            assert key in prov
+        assert prov["seed"] == 5 and prov["scale"] == 0.02
+
+    def test_version_matches_package(self):
+        from repro import __version__
+
+        assert run_provenance()["repro_version"] == __version__
+
+    def test_config_hash_stable_and_sensitive(self):
+        from repro.cluster.system import SMALL_SYSTEM
+        from repro.simulation import SimulationConfig
+
+        a = SimulationConfig(system=SMALL_SYSTEM, theta=0.0)
+        b = SimulationConfig(system=SMALL_SYSTEM, theta=0.0)
+        c = SimulationConfig(system=SMALL_SYSTEM, theta=0.5)
+        assert config_hash(a) == config_hash(b)
+        assert config_hash(a) != config_hash(c)
+        assert len(config_hash(a)) == 12
+
+    def test_repro_env_captured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        env = run_provenance()["env"]
+        assert env["REPRO_SCALE"] == "0.5"
+        assert env["REPRO_WORKERS"] == "2"
+
+    def test_config_hash_included_when_config_given(self):
+        from repro.cluster.system import SMALL_SYSTEM
+        from repro.simulation import SimulationConfig
+
+        cfg = SimulationConfig(system=SMALL_SYSTEM, theta=0.0)
+        assert run_provenance(config=cfg)["config_hash"] == config_hash(cfg)
+
+
+class TestRuntimeEnv:
+    def test_trace_path_unset(self, monkeypatch):
+        monkeypatch.delenv(TRACE_OUT_VAR, raising=False)
+        assert env_trace_path() is None
+
+    def test_trace_path_set(self, monkeypatch):
+        monkeypatch.setenv(TRACE_OUT_VAR, "/tmp/x.jsonl")
+        assert env_trace_path() == "/tmp/x.jsonl"
+        assert obs_active()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off"])
+    def test_profile_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv(PROFILE_VAR, value)
+        assert not env_profile_enabled()
+
+    def test_profile_truthy(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_VAR, "1")
+        assert env_profile_enabled()
+        assert obs_active()
+
+    def test_obs_inactive_by_default(self, monkeypatch):
+        monkeypatch.delenv(TRACE_OUT_VAR, raising=False)
+        monkeypatch.delenv(PROFILE_VAR, raising=False)
+        assert not obs_active()
+
+
+class TestSimulationIntegration:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        from repro.cluster.system import SMALL_SYSTEM
+        from repro.core.migration import MigrationPolicy
+        from repro.simulation import Simulation, SimulationConfig
+        from repro.units import hours
+
+        config = SimulationConfig(
+            system=SMALL_SYSTEM,
+            theta=0.5,
+            placement="even",
+            migration=MigrationPolicy.paper_default(),
+            staging_fraction=0.2,
+            scheduler="eftf",
+            duration=hours(3.0),
+            warmup=hours(0.5),
+            seed=3,
+            client_receive_bandwidth=30.0,
+        )
+        tracer = Tracer()
+        sim = Simulation(config, tracer=tracer)
+        result = sim.run()
+        return sim, tracer, result
+
+    def test_trace_covers_multiple_kinds(self, traced_run):
+        _, tracer, _ = traced_run
+        kinds = set(tracer.counts)
+        assert TraceKind.REQUEST_ARRIVE in kinds
+        assert TraceKind.REQUEST_ADMIT in kinds
+        assert TraceKind.REQUEST_FINISH in kinds
+        assert TraceKind.SCHED_REALLOC in kinds
+        assert len(kinds) >= 5
+
+    def test_admissions_equal_trace_admits(self, traced_run):
+        sim, tracer, result = traced_run
+        # Warmup resets metrics but not the trace, so trace >= metrics.
+        assert tracer.counts[TraceKind.REQUEST_ADMIT] >= result.accepted
+
+    def test_registry_mirrors_lifecycle_counters(self, traced_run):
+        sim, _, result = traced_run
+        snap = sim.registry.snapshot()
+        assert snap["counters"]["requests.arrivals"] == result.arrivals
+        assert snap["counters"]["requests.accepted"] == result.accepted
+        assert snap["gauges"]["streams.active"] == sim.controller.active_count
+
+    def test_result_carries_provenance(self, traced_run):
+        _, _, result = traced_run
+        assert result.provenance["seed"] == 3
+        assert "config_hash" in result.provenance
+
+    def test_traced_run_matches_untraced_fingerprint(self, traced_run):
+        from repro.simulation import Simulation
+
+        sim, _, result = traced_run
+        plain = Simulation(sim.config).run()
+        assert plain.utilization == result.utilization
+        assert plain.arrivals == result.arrivals
+        assert plain.events_fired == result.events_fired
+
+
+class TestExportSidecar:
+    def test_sweep_to_csv_writes_meta_sidecar(self, tmp_path):
+        from repro.analysis.export import metadata_path, sweep_to_csv
+        from repro.analysis.stats import summarize
+        from repro.experiments.base import SweepResult, resolve_scale
+
+        result = SweepResult(
+            x_label="theta",
+            x_values=[0.0, 1.0],
+            curves={"c": [summarize([0.5]), summarize([0.6])]},
+            metric="utilization",
+            scale=resolve_scale(0.01),
+            provenance={"seed": 9, "repro_version": "test"},
+        )
+        csv_path = tmp_path / "sweep.csv"
+        sweep_to_csv(result, csv_path)
+        meta = json.loads(metadata_path(csv_path).read_text())
+        assert meta["seed"] == 9
+        assert meta["result_file"] == "sweep.csv"
+
+    def test_sidecar_suppressible(self, tmp_path):
+        from repro.analysis.export import metadata_path, sweep_to_csv
+        from repro.analysis.stats import summarize
+        from repro.experiments.base import SweepResult, resolve_scale
+
+        result = SweepResult(
+            x_label="theta",
+            x_values=[0.0],
+            curves={"c": [summarize([0.5])]},
+            metric="utilization",
+            scale=resolve_scale(0.01),
+        )
+        csv_path = tmp_path / "sweep.csv"
+        sweep_to_csv(result, csv_path, metadata=False)
+        assert not metadata_path(csv_path).exists()
+
+    def test_snapshot_to_json(self, tmp_path):
+        from repro.analysis.export import snapshot_to_json
+
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        out = tmp_path / "metrics.json"
+        snapshot_to_json(reg, out, provenance={"seed": 1})
+        payload = json.loads(out.read_text())
+        assert payload["provenance"] == {"seed": 1}
+        assert payload["metrics"]["counters"]["hits"] == 2.0
