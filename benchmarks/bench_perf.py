@@ -1,0 +1,32 @@
+"""Perf trajectory benchmark: engine throughput + sweep parallelism.
+
+Unlike the figure benches (which regenerate paper artifacts), this one
+measures the simulator itself — raw engine events/sec and the wall time
+of a fig4-shaped sweep run serially vs through the grid-level parallel
+executor — and refreshes ``BENCH_perf.json`` at the repo root so the
+numbers are tracked across PRs (see docs/PERFORMANCE.md).  The
+serial/parallel bit-identity flag doubles as a determinism gate and is
+asserted here.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from conftest import run_once
+
+from repro import benchmark as perf
+
+BENCH_JSON = (
+    pathlib.Path(__file__).resolve().parent.parent / perf.DEFAULT_OUT
+)
+
+
+def test_perf_report(benchmark):
+    report = run_once(
+        benchmark, perf.run_bench, quick=False, out=str(BENCH_JSON)
+    )
+    assert report["sweep"]["identical"], (
+        "parallel sweep diverged from serial execution"
+    )
+    print(perf.render_report(report))

@@ -1,0 +1,196 @@
+"""Performance benchmark harness (``repro-vod bench``).
+
+Two measurements, written to ``BENCH_perf.json`` so successive PRs
+accumulate a perf trajectory:
+
+* **engine microbenchmark** — raw events/sec of the DES core on a
+  self-perpetuating event chain interleaved with cancelled handles
+  (exercising both the fire path and the lazy-cancellation skip path);
+* **sweep benchmark** — wall time of a Figure-4-shaped
+  (θ × variant × trial) sweep executed serially (``REPRO_WORKERS=1``)
+  versus through the grid-level parallel executor, with the
+  bit-identity of the two results asserted (the determinism gate).
+
+Timing numbers are machine-dependent — compare them only against runs
+on the same hardware (``cpu_count`` is recorded for that reason).  The
+identity flag, in contrast, must always be true.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.system import SMALL_SYSTEM
+from repro.experiments import fig4_drm
+from repro.experiments.base import THETA_GRID_COARSE
+from repro.obs.provenance import run_provenance
+from repro.sim.engine import Engine
+
+#: Default output path (repo root when invoked from a checkout).
+DEFAULT_OUT = "BENCH_perf.json"
+
+#: Events per engine-microbenchmark repetition.
+ENGINE_EVENTS = 200_000
+
+#: Fidelity of the sweep benchmark (matches REPRO_BENCH_SCALE's
+#: default, so the sweep leg mirrors the committed bench artifacts).
+SWEEP_SCALE = 0.003
+QUICK_SWEEP_SCALE = 0.001
+
+
+@contextlib.contextmanager
+def _workers_env(value: Optional[int]):
+    """Temporarily pin (or clear) ``REPRO_WORKERS``."""
+    saved = os.environ.get("REPRO_WORKERS")
+    if value is None:
+        os.environ.pop("REPRO_WORKERS", None)
+    else:
+        os.environ["REPRO_WORKERS"] = str(value)
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_WORKERS", None)
+        else:
+            os.environ["REPRO_WORKERS"] = saved
+
+
+def engine_benchmark(
+    n_events: int = ENGINE_EVENTS, repeats: int = 3
+) -> Dict[str, float]:
+    """Measure raw engine throughput (best of *repeats*).
+
+    The workload is a single self-rescheduling chain with one cancelled
+    handle per ten live events, so the measured loop covers scheduling,
+    heap maintenance, firing and the lazy-cancellation skip — the same
+    mix a simulation produces, minus model arithmetic.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        engine = Engine()
+        remaining = [n_events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.schedule(1.0, tick)
+                if remaining[0] % 10 == 0:
+                    engine.schedule(0.5, tick).cancel()
+
+        engine.schedule(1.0, tick)
+        t0 = perf_counter()
+        engine.run_until(float(n_events + 1))
+        elapsed = perf_counter() - t0
+        best = max(best, n_events / elapsed)
+    return {
+        "events": n_events,
+        "repeats": repeats,
+        "events_per_sec": round(best, 1),
+    }
+
+
+def sweep_benchmark(
+    quick: bool = False,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Time a fig4-shaped sweep serially vs through the parallel
+    executor and assert the two results are bit-identical."""
+    if quick:
+        system = SMALL_SYSTEM.scaled(n_videos=60, name="bench-tiny")
+        theta_values: List[float] = [-0.5, 0.5]
+        scale = QUICK_SWEEP_SCALE
+    else:
+        system = SMALL_SYSTEM
+        theta_values = list(THETA_GRID_COARSE)
+        scale = SWEEP_SCALE
+
+    def leg(workers: Optional[int]):
+        with _workers_env(workers):
+            t0 = perf_counter()
+            result = fig4_drm.run_fig4(
+                system=system, theta_values=theta_values,
+                scale=scale, seed=seed,
+            )
+            return result, perf_counter() - t0
+
+    if progress is not None:
+        progress("bench: serial sweep leg (REPRO_WORKERS=1) ...")
+    serial, serial_s = leg(1)
+    # At least two workers so the pool path is exercised even on a
+    # single-core machine (where the "speedup" is honestly <= 1).
+    workers = max(2, os.cpu_count() or 1)
+    if progress is not None:
+        progress(f"bench: parallel sweep leg ({workers} workers) ...")
+    parallel, parallel_s = leg(workers)
+
+    identical = serial.curves == parallel.curves
+    return {
+        "shape": {
+            "figure": "fig4",
+            "system": system.name,
+            "x_values": theta_values,
+            "variants": sorted(serial.curves),
+            "scale": scale,
+            "trials": serial.scale.trials,
+            "tasks": len(theta_values) * len(serial.curves)
+            * serial.scale.trials,
+        },
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "parallel_workers": workers,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "identical": identical,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    out: Optional[str] = DEFAULT_OUT,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run both benchmarks; write *out* (unless None) and return the
+    report dict."""
+    if progress is not None:
+        progress("bench: engine microbenchmark ...")
+    engine = engine_benchmark(
+        n_events=ENGINE_EVENTS // 4 if quick else ENGINE_EVENTS
+    )
+    sweep = sweep_benchmark(quick=quick, seed=seed, progress=progress)
+    report: Dict[str, object] = {
+        "schema": "repro-bench-perf/1",
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "engine": engine,
+        "sweep": sweep,
+        "provenance": run_provenance(seed=seed, scale=sweep["shape"]["scale"]),
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+    return report
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human summary of a :func:`run_bench` report."""
+    engine = report["engine"]
+    sweep = report["sweep"]
+    lines = [
+        f"engine: {engine['events_per_sec']:,.0f} events/sec "
+        f"({engine['events']} events, best of {engine['repeats']})",
+        f"sweep ({sweep['shape']['figure']}, {sweep['shape']['system']} "
+        f"system, {sweep['shape']['tasks']} tasks): "
+        f"serial {sweep['serial_seconds']:.2f}s vs parallel "
+        f"{sweep['parallel_seconds']:.2f}s "
+        f"on {sweep['parallel_workers']} workers "
+        f"-> speedup {sweep['speedup']:.2f}x "
+        f"(cpu_count={report['cpu_count']})",
+        f"serial/parallel results identical: {sweep['identical']}",
+    ]
+    return "\n".join(lines)

@@ -11,6 +11,7 @@ Subcommands regenerate each reproduced artifact::
     repro-vod all --outdir results                  # everything + CSVs
     repro-vod run --system small --theta 0.3 --staging 0.2 --migrate
     repro-vod trace fig5 --trace-out fig5.jsonl     # structured trace
+    repro-vod bench --quick                         # perf benchmark
 
 ``--scale`` (or REPRO_SCALE) trades fidelity for speed; 1.0 is the
 paper's 5 trials × 1000 h.
@@ -152,6 +153,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--outdir", default="results", help="output directory")
     _add_common(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="performance benchmark: engine events/sec + serial-vs-"
+             "parallel sweep wall time (writes BENCH_perf.json)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="tiny-system smoke variant (seconds instead of minutes)",
+    )
+    p.add_argument(
+        "--out", default="BENCH_perf.json", metavar="PATH",
+        help="JSON report path (default: BENCH_perf.json)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="root random seed")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines")
 
     p = sub.add_parser("run", help="one ad-hoc simulation")
     p.add_argument("--system", default="small", choices=sorted(SYSTEMS))
@@ -385,10 +403,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     return rc
 
 
+def _cmd_bench(args) -> int:
+    """``repro bench``: measure, print a summary, write the JSON."""
+    from repro import benchmark
+
+    report = benchmark.run_bench(
+        quick=args.quick, out=args.out, seed=args.seed,
+        progress=_progress(args.quiet),
+    )
+    print(benchmark.render_report(report))
+    print(f"wrote {args.out}")
+    # Timing is machine noise; only a broken determinism gate fails.
+    return 0 if report["sweep"]["identical"] else 1
+
+
 def _dispatch(args) -> int:
     if args.command == "fig6":
         print(fig7_policies.policy_matrix_table())
         return 0
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     if args.command == "run":
         config = SimulationConfig(

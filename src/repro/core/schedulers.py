@@ -33,7 +33,7 @@ inlined arithmetic on request attributes rather than the readable
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.request import EPS_MB, Request
 from repro.cluster.server import DataServer
@@ -65,6 +65,12 @@ class BandwidthAllocator(abc.ABC):
     #: one ``is None`` check.
     obs_hook = None
 
+    #: Scratch list reused across :meth:`allocate` calls (the simulator
+    #: is single-threaded and allocators never retain the list beyond
+    #: one ``_distribute_spare`` call, so reuse is safe and avoids one
+    #: list allocation per event).
+    _scratch: Optional[List[Candidate]] = None
+
     def allocate(
         self, server: DataServer, requests: Sequence[Request], now: float
     ) -> Dict[int, float]:
@@ -78,6 +84,7 @@ class BandwidthAllocator(abc.ABC):
         rates: Dict[int, float] = {}
         base = 0.0
         live: List[Request] = []
+        live_append = live.append
         for r in requests:
             if now < r.paused_until:
                 rates[r.request_id] = 0.0
@@ -97,7 +104,7 @@ class BandwidthAllocator(abc.ABC):
                     continue
             rates[r.request_id] = vb
             base += vb
-            live.append(r)
+            live_append(r)
         if base > server.bandwidth + EPS_MB:
             raise RuntimeError(
                 f"minimum-flow violated on server {server.server_id}: "
@@ -105,7 +112,13 @@ class BandwidthAllocator(abc.ABC):
             )
         spare = server.bandwidth - base
         if spare > EPS_RATE and live:
-            candidates: List[Candidate] = []
+            candidates = self._scratch
+            if candidates is None:
+                candidates = []
+            else:
+                self._scratch = None  # guard against re-entrant use
+                candidates.clear()
+            append = candidates.append
             for r in live:
                 vb = r.view_bandwidth
                 client = r.client
@@ -126,9 +139,11 @@ class BandwidthAllocator(abc.ABC):
                 )
                 if head <= EPS_MB:
                     continue
-                candidates.append((remaining, r.request_id, r, extra_cap))
+                append((remaining, r.request_id, r, extra_cap))
             if candidates:
                 self._distribute_spare(rates, candidates, spare)
+            candidates.clear()  # drop Request refs before parking
+            self._scratch = candidates
         hook = self.obs_hook
         if hook is not None:
             hook(server, requests, rates, now)

@@ -132,11 +132,21 @@ class TransmissionManager:
         if total > 0.0:
             self.metrics.record_bytes(self.server.server_id, total, now)
 
-    def reallocate(self, now: float) -> None:
-        """Sync state, apply the allocator, schedule the next boundary."""
+    def reallocate(self, now: float, _synced_active=None) -> None:
+        """Sync state, apply the allocator, schedule the next boundary.
+
+        ``_synced_active`` is an internal fast path for callers (the
+        boundary handler) that already hold the active list with every
+        stream integrated to *now* — it skips re-listing and a
+        redundant zero-dt sync pass, which is pure overhead at one
+        reallocation per event.
+        """
         self.reallocations += 1
-        active = list(self.server.iter_active())
-        self._sync_all(active, now)
+        if _synced_active is None:
+            active = list(self.server.iter_active())
+            self._sync_all(active, now)
+        else:
+            active = _synced_active
         rates = self.allocator.allocate(self.server, active, now)
         for r in active:
             r.rate = rates[r.request_id]
@@ -265,12 +275,19 @@ class TransmissionManager:
         if self.tracer is not None:
             self._trace_full_buffers(active, now)
         finished = [r for r in active if r.transmission_finished]
-        for r in finished:
-            self.server.detach(r)
-            r.mark_finished(now)
-            if self.on_finish is not None:
-                self.on_finish(r)
-        self.reallocate(now)
+        if finished:
+            for r in finished:
+                self.server.detach(r)
+                r.mark_finished(now)
+                if self.on_finish is not None:
+                    self.on_finish(r)
+            # on_finish may admit/migrate onto this server, changing the
+            # active set — re-list (and re-sync the newcomers) normally.
+            self.reallocate(now)
+        else:
+            # Everything is already integrated to `now`; skip the
+            # redundant re-list + zero-dt sync pass.
+            self.reallocate(now, _synced_active=active)
 
     def _trace_full_buffers(self, active, now: float) -> None:
         """Emit ``stream.buffer_full`` for boosted streams whose clients

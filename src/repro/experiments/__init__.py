@@ -40,6 +40,7 @@ from repro.experiments.base import (
     resolve_scale,
     run_sweep,
     run_trials,
+    trial_seeds,
 )
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "resolve_scale",
     "run_sweep",
     "run_trials",
+    "trial_seeds",
 ]

@@ -7,20 +7,29 @@ hundred milliseconds per simulated hour, so experiments take a
 variable) that proportionally shrinks duration and trial count while
 preserving the curve shapes.  Each recorded result notes its scale.
 
-Trials of different seeds are independent processes when more than one
-CPU is available (``REPRO_WORKERS`` overrides); per the Section 4.1
-methodology the same trial seeds are reused across variants (common
-random numbers), which pairs the comparisons and sharpens curve
-separations at small trial counts.
+Parallelism is **grid-level**: :func:`run_sweep` flattens the whole
+(x × variant × trial) grid into one task list and dispatches it to a
+single :class:`~concurrent.futures.ProcessPoolExecutor` created once
+per sweep, so every independent simulation in a figure — not just the
+trials of one data point — runs concurrently (``REPRO_WORKERS``
+overrides the worker count).  Results are reassembled in grid order
+regardless of completion order, and per the Section 4.1 methodology
+the same trial seeds are reused across variants (common random
+numbers), which pairs the comparisons and sharpens curve separations
+at small trial counts — so parallel and serial execution are
+bit-identical (enforced by tests).  When ``REPRO_WORKERS=1`` or an
+observability switch is active (:func:`repro.obs.runtime.obs_active`),
+the sweep falls back to in-process serial execution in strict grid
+order so traces and profiles aggregate correctly in one process.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_series
 from repro.analysis.stats import SummaryStats, summarize
@@ -83,7 +92,14 @@ def resolve_scale(
         max_trials: cap on trials (the paper's 5).
     """
     if scale is None:
-        scale = float(os.environ.get("REPRO_SCALE", "0.01"))
+        raw = os.environ.get("REPRO_SCALE", "0.01")
+        try:
+            scale = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SCALE must be a number (the fidelity factor, "
+                f"e.g. REPRO_SCALE=0.01), got {raw!r}"
+            ) from None
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
     measured_hours = max(min_hours, PAPER_DURATION_HOURS * scale)
@@ -123,8 +139,31 @@ def _worker_count() -> int:
         return 1
     env = os.environ.get("REPRO_WORKERS")
     if env is not None:
-        return max(1, int(env))
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer worker-process count "
+                f"(e.g. REPRO_WORKERS=4, or 1 to force serial), got "
+                f"{env!r}"
+            ) from None
+        return max(1, value)
     return max(1, os.cpu_count() or 1)
+
+
+def trial_seeds(trials: int, base_seed: int = 0) -> List[int]:
+    """The common-random-number seed ladder: trial ``i`` uses
+    ``base_seed + i * 7919``, shared by every variant in a sweep."""
+    return [base_seed + i * _SEED_STRIDE for i in range(trials)]
+
+
+def _trial_configs(
+    config: SimulationConfig, trials: int, base_seed: int
+) -> List[SimulationConfig]:
+    return [
+        dataclasses.replace(config, seed=seed)
+        for seed in trial_seeds(trials, base_seed)
+    ]
 
 
 def run_trials(
@@ -136,12 +175,11 @@ def run_trials(
 
     Trial ``i`` uses seed ``base_seed + i * 7919`` — the same seeds are
     shared by every variant in a sweep (common random numbers).
-    Processes are used when multiple CPUs are available.
+    Processes are used when multiple CPUs are available.  (Sweeps do not
+    call this: :func:`run_sweep` parallelises over its whole grid with
+    one shared pool instead.)
     """
-    configs = [
-        dataclasses.replace(config, seed=base_seed + i * _SEED_STRIDE)
-        for i in range(trials)
-    ]
+    configs = _trial_configs(config, trials, base_seed)
     workers = min(_worker_count(), len(configs))
     if workers <= 1:
         return [_run_one(c) for c in configs]
@@ -189,6 +227,11 @@ class SweepResult:
         )
 
 
+#: Grid-cell key: (x index, variant index); trial results are gathered
+#: per cell before summarising.
+_CellKey = Tuple[int, int]
+
+
 def run_sweep(
     base: SimulationConfig,
     x_values: Sequence[float],
@@ -201,6 +244,14 @@ def run_sweep(
 ) -> SweepResult:
     """Run a full (x × variant × trial) grid and summarise.
 
+    The grid is flattened into one task list and dispatched to a single
+    persistent process pool (created once per sweep), so every
+    independent simulation runs concurrently; results are reassembled
+    in grid order, making the output bit-identical to a serial run.
+    With one worker (``REPRO_WORKERS=1``, a single CPU, or an active
+    observability switch) the tasks run in-process in strict grid
+    order instead.
+
     Args:
         base: config template (duration/warmup are overwritten from
             *scale*).
@@ -210,25 +261,75 @@ def run_sweep(
         metric: SimulationResult attribute to record.
         x_field: SimulationConfig field swept along x.
         base_seed: root of the common-random-number seed ladder.
-        progress: optional callback receiving one line per grid point.
+        progress: optional callback receiving one line per grid point
+            (in completion order when parallel, grid order when serial).
     """
     base = dataclasses.replace(
         base, duration=scale.duration, warmup=scale.warmup
     )
-    curves: Dict[str, List[SummaryStats]] = {v.label: [] for v in variants}
-    for x in x_values:
-        for variant in variants:
+    # Flatten the (x × variant × trial) grid into one task list.  The
+    # seed ladder depends only on the trial index (common random
+    # numbers), never on the grid position or completion order.
+    tasks: List[Tuple[_CellKey, int, SimulationConfig]] = []
+    for xi, x in enumerate(x_values):
+        for vi, variant in enumerate(variants):
             config = dataclasses.replace(
                 variant.apply(base), **{x_field: x}
             )
-            results = run_trials(config, scale.trials, base_seed=base_seed)
-            stats = summarize([getattr(r, metric) for r in results])
-            curves[variant.label].append(stats)
-            if progress is not None:
-                progress(
-                    f"{x_field}={x:+.2f} {variant.label:>24s}: "
-                    f"{metric}={stats.mean:.4f}"
-                )
+            for ti, trial_config in enumerate(
+                _trial_configs(config, scale.trials, base_seed)
+            ):
+                tasks.append(((xi, vi), ti, trial_config))
+
+    def emit(key: _CellKey, stats: SummaryStats) -> None:
+        if progress is not None:
+            xi, vi = key
+            progress(
+                f"{x_field}={x_values[xi]:+.2f} "
+                f"{variants[vi].label:>24s}: "
+                f"{metric}={stats.mean:.4f}"
+            )
+
+    cell_stats: Dict[_CellKey, SummaryStats] = {}
+    workers = min(_worker_count(), len(tasks))
+    if workers <= 1:
+        # Serial fallback: in-process, strict grid order — required for
+        # obs aggregation (traces/profiles accumulate in this process).
+        values: List[float] = []
+        for key, ti, config in tasks:
+            values.append(getattr(_run_one(config), metric))
+            if ti == scale.trials - 1:
+                cell_stats[key] = summarize(values)
+                emit(key, cell_stats[key])
+                values = []
+    else:
+        # One persistent pool for the whole sweep; workers are reused
+        # across grid points.  Futures complete in any order — measured
+        # values are slotted by (cell, trial) and each cell is
+        # summarised (and reported) once its last trial lands.
+        cell_values: Dict[_CellKey, List[Optional[float]]] = {}
+        cell_remaining: Dict[_CellKey, int] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_one, config): (key, ti)
+                for key, ti, config in tasks
+            }
+            for future in as_completed(futures):
+                key, ti = futures[future]
+                slots = cell_values.setdefault(key, [None] * scale.trials)
+                slots[ti] = getattr(future.result(), metric)
+                left = cell_remaining.get(key, scale.trials) - 1
+                cell_remaining[key] = left
+                if left == 0:
+                    cell_stats[key] = summarize(slots)
+                    emit(key, cell_stats[key])
+
+    curves: Dict[str, List[SummaryStats]] = {
+        variant.label: [
+            cell_stats[(xi, vi)] for xi in range(len(x_values))
+        ]
+        for vi, variant in enumerate(variants)
+    }
     return SweepResult(
         x_label=x_field,
         x_values=[float(x) for x in x_values],
@@ -239,7 +340,13 @@ def run_sweep(
             seed=base_seed,
             scale=scale.scale,
             config=base,
-            extra={"metric": metric, "x_field": x_field},
+            extra={
+                "metric": metric,
+                "x_field": x_field,
+                "workers": workers,
+                "executor": "serial" if workers <= 1 else "parallel",
+                "trial_seeds": trial_seeds(scale.trials, base_seed),
+            },
         ),
     )
 

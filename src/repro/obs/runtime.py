@@ -4,8 +4,12 @@ The CLI flags ``--trace-out`` / ``--profile`` set these variables
 before dispatching, and :class:`repro.Simulation` reads them at build
 time, so observability reaches *every* run a command performs — sweep
 trials included — without threading options through each experiment
-signature.  ``repro.experiments.base`` drops to a single worker while
-either switch is active so traces and profiles aggregate in-process.
+signature.  While either switch is active, :func:`obs_active` makes
+the sweep executor in ``repro.experiments.base`` fall back from its
+grid-level process pool to one in-process worker running tasks in
+strict grid order, so traces append to one file and profiles fold into
+one process-wide aggregate; sweep provenance records the effective
+worker count either way (see docs/PERFORMANCE.md).
 
 * ``REPRO_TRACE_OUT=<path>`` — each run appends its JSONL trace
   (prefixed with a ``run.meta`` provenance line) to *path*.

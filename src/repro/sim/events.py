@@ -83,7 +83,13 @@ class Event:
         self.callback()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Tuple-free compare: heapq calls this O(log n) times per push
+        # and pop, so the two-tuple allocation was measurable.  Times
+        # are never NaN (the engine rejects NaN at scheduling), so this
+        # is exactly ``(time, seq) < (other.time, other.seq)``.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         tag = f" kind={self.kind!r}" if self.kind else ""

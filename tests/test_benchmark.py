@@ -1,0 +1,68 @@
+"""Unit tests for the perf benchmark harness (repro.benchmark)."""
+
+import json
+
+from repro import benchmark
+
+
+class TestEngineBenchmark:
+    def test_measures_throughput(self):
+        report = benchmark.engine_benchmark(n_events=2000, repeats=1)
+        assert report["events"] == 2000
+        assert report["events_per_sec"] > 0
+
+    def test_exercises_cancellation_path(self):
+        # The workload schedules one cancelled handle per ten events;
+        # reproduce it once on a bare engine to pin that property.
+        from repro.sim.engine import Engine
+
+        engine = Engine()
+        remaining = [100]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.schedule(1.0, tick)
+                if remaining[0] % 10 == 0:
+                    engine.schedule(0.5, tick).cancel()
+        engine.schedule(1.0, tick)
+        engine.run_until(101.0)
+        assert engine.events_fired == 100
+        assert engine.events_cancelled > 0
+
+
+class TestRunBench:
+    def test_quick_report_round_trips_as_json(self, tmp_path, monkeypatch):
+        # Shrink the sweep legs: micro-patch the quick shape to one x
+        # value so the whole bench stays in unit-test territory.
+        monkeypatch.setattr(benchmark, "ENGINE_EVENTS", 4000)
+        monkeypatch.setattr(benchmark, "QUICK_SWEEP_SCALE", 0.0005)
+        out = tmp_path / "perf.json"
+        report = benchmark.run_bench(quick=True, out=str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk["schema"] == "repro-bench-perf/1"
+        assert on_disk["sweep"]["identical"] is True
+        assert on_disk["sweep"]["serial_seconds"] > 0
+        assert on_disk["sweep"]["parallel_workers"] >= 2
+        assert on_disk["cpu_count"] == report["cpu_count"]
+        assert "events_per_sec" in on_disk["engine"]
+
+    def test_render_report_mentions_key_numbers(self):
+        report = {
+            "cpu_count": 4,
+            "engine": {
+                "events_per_sec": 123456.0, "events": 1000, "repeats": 3,
+            },
+            "sweep": {
+                "shape": {"figure": "fig4", "system": "small", "tasks": 10},
+                "serial_seconds": 8.0,
+                "parallel_seconds": 2.0,
+                "parallel_workers": 4,
+                "speedup": 4.0,
+                "identical": True,
+            },
+        }
+        text = benchmark.render_report(report)
+        assert "123,456" in text
+        assert "4.00x" in text
+        assert "identical: True" in text

@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         for cmd in ("fig4", "fig5", "fig6", "fig7", "svbr", "partial",
                     "het", "ablation", "replication", "burst", "vcr",
-                    "mix", "run", "all"):
+                    "mix", "run", "all", "bench"):
             args = parser.parse_args(
                 [cmd] if cmd == "fig6" else [cmd]
             )
@@ -63,6 +63,20 @@ class TestMain:
         code = main(["svbr", "--scale", "0.0005", "--quiet"])
         assert code == 0
         assert "erlang-B" in capsys.readouterr().out
+
+    def test_bench_quick_writes_json(self, tmp_path, capsys, monkeypatch):
+        from repro import benchmark as perf
+
+        # Shrink the workload to unit-test size; the real sizes run in
+        # the benchmark suite and CI smoke job.
+        monkeypatch.setattr(perf, "ENGINE_EVENTS", 4000)
+        monkeypatch.setattr(perf, "QUICK_SWEEP_SCALE", 0.0005)
+        out = tmp_path / "perf.json"
+        code = main(["bench", "--quick", "--out", str(out), "--quiet"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "identical: True" in stdout
+        assert out.exists()
 
 
 class TestObservabilityCLI:

@@ -1,0 +1,182 @@
+"""The grid-level parallel sweep executor (repro.experiments.base).
+
+The contract under test: parallel execution is an *implementation
+detail* — a sweep dispatched to a process pool must be bit-identical
+to the same sweep run serially in-process (same curves, same seeds,
+same summaries), the pool must be created exactly once per sweep, and
+observability switches must force the serial in-process fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SMALL_SYSTEM, SimulationConfig
+from repro.experiments import base as base_mod
+from repro.experiments.base import (
+    ExperimentScale,
+    Variant,
+    resolve_scale,
+    run_sweep,
+    trial_seeds,
+)
+from repro.units import hours
+
+TINY = SMALL_SYSTEM.scaled(n_videos=60, name="tiny")
+
+FIG4_VARIANTS = [
+    Variant("a", {"staging_fraction": 0.0}),
+    Variant("b", {"staging_fraction": 0.2}),
+]
+
+
+def tiny_sweep(base_seed: int = 0, trials: int = 2):
+    """A small fig4-shaped grid: 2 θ × 2 variants × *trials* trials."""
+    return run_sweep(
+        SimulationConfig(system=TINY, theta=0.0, duration=hours(1), seed=1),
+        x_values=[-0.5, 0.5],
+        variants=FIG4_VARIANTS,
+        scale=ExperimentScale(
+            duration=hours(0.5), warmup=0.0, trials=trials, scale=0.0
+        ),
+        base_seed=base_seed,
+    )
+
+
+class TestBitIdentity:
+    # hypothesis disallows function-scoped fixtures under @given, so
+    # the env var is managed manually.
+    @settings(max_examples=3, deadline=None)
+    @given(base_seed=st.integers(min_value=0, max_value=10_000))
+    def test_parallel_matches_serial_bitwise(self, base_seed):
+        import os
+
+        saved = os.environ.get("REPRO_WORKERS")
+        try:
+            os.environ["REPRO_WORKERS"] = "1"
+            serial = tiny_sweep(base_seed)
+            os.environ["REPRO_WORKERS"] = "2"
+            parallel = tiny_sweep(base_seed)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_WORKERS", None)
+            else:
+                os.environ["REPRO_WORKERS"] = saved
+        # SummaryStats is a dataclass of floats: == means bit-identical.
+        assert serial.curves == parallel.curves
+        assert serial.x_values == parallel.x_values
+        assert (
+            serial.provenance["trial_seeds"]
+            == parallel.provenance["trial_seeds"]
+            == trial_seeds(2, base_seed)
+        )
+
+    def test_progress_lines_agree_up_to_order(self, monkeypatch):
+        lines = {}
+        for workers in ("1", "2"):
+            monkeypatch.setenv("REPRO_WORKERS", workers)
+            got = []
+            run_sweep(
+                SimulationConfig(
+                    system=TINY, theta=0.0, duration=hours(1), seed=1
+                ),
+                x_values=[-0.5, 0.5],
+                variants=FIG4_VARIANTS,
+                scale=ExperimentScale(
+                    duration=hours(0.5), warmup=0.0, trials=1, scale=0.0
+                ),
+                progress=got.append,
+            )
+            lines[workers] = got
+        assert sorted(lines["1"]) == sorted(lines["2"])
+        assert len(lines["1"]) == 4  # one line per (x, variant) cell
+
+
+class _CountingPool:
+    """Wraps ProcessPoolExecutor, counting constructions."""
+
+    instances = 0
+
+    def __init__(self, real_cls):
+        self._real_cls = real_cls
+
+    def __call__(self, *args, **kwargs):
+        type(self).instances += 1
+        return self._real_cls(*args, **kwargs)
+
+
+class TestPoolLifecycle:
+    @pytest.fixture(autouse=True)
+    def _reset_counter(self):
+        _CountingPool.instances = 0
+        yield
+
+    def test_pool_created_at_most_once_per_sweep(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setattr(
+            base_mod,
+            "ProcessPoolExecutor",
+            _CountingPool(base_mod.ProcessPoolExecutor),
+        )
+        tiny_sweep()
+        assert _CountingPool.instances == 1
+
+    def test_workers_1_never_creates_a_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        monkeypatch.setattr(
+            base_mod,
+            "ProcessPoolExecutor",
+            _CountingPool(base_mod.ProcessPoolExecutor),
+        )
+        tiny_sweep()
+        assert _CountingPool.instances == 0
+
+    def test_obs_active_forces_serial_fallback(self, monkeypatch, tmp_path):
+        # Tracing must aggregate in-process: no pool even with workers.
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        monkeypatch.setenv("REPRO_TRACE_OUT", str(tmp_path / "t.jsonl"))
+        monkeypatch.setattr(
+            base_mod,
+            "ProcessPoolExecutor",
+            _CountingPool(base_mod.ProcessPoolExecutor),
+        )
+        result = tiny_sweep(trials=1)
+        assert _CountingPool.instances == 0
+        assert result.provenance["executor"] == "serial"
+        assert (tmp_path / "t.jsonl").exists()
+
+
+class TestProvenance:
+    def test_records_worker_count_and_executor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        result = tiny_sweep()
+        assert result.provenance["workers"] == 2
+        assert result.provenance["executor"] == "parallel"
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        result = tiny_sweep()
+        assert result.provenance["workers"] == 1
+        assert result.provenance["executor"] == "serial"
+
+
+class TestEnvValidation:
+    def test_malformed_repro_workers_names_the_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            base_mod._worker_count()
+
+    def test_malformed_repro_scale_names_the_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            resolve_scale(None)
+
+    def test_workers_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert base_mod._worker_count() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        assert base_mod._worker_count() == 1
+
+    def test_explicit_scale_still_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")  # malformed but unused
+        assert resolve_scale(0.001).scale == 0.001
