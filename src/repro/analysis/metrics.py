@@ -66,6 +66,18 @@ class SimulationMetrics:
     #: with overbooked admission.
     underruns: int = 0
 
+    #: Graceful-degradation accounting (``repro.faults.retry``): every
+    #: resubmission attempt is *also* counted in ``arrivals`` (so the
+    #: accepted + rejected == arrivals identity holds per attempt);
+    #: ``retries`` lets distinct-request measures subtract them out.
+    retries: int = 0
+    retry_successes: int = 0       #: resubmissions that were admitted
+    retry_exhausted: int = 0       #: requests abandoned (max attempts
+    #: reached or bounded queue overflow) — permanently denied service.
+
+    #: Fault-injection accounting (``repro.faults.injector``).
+    faults_injected: int = 0
+
     #: Saturation attribution: how often each server was a full replica
     #: holder at the moment a request was turned away.
     rejections_per_server: Dict[int, int] = field(default_factory=dict)
@@ -91,6 +103,10 @@ class SimulationMetrics:
         self.finished = 0
         self.dropped = 0
         self.underruns = 0
+        self.retries = 0
+        self.retry_successes = 0
+        self.retry_exhausted = 0
+        self.faults_injected = 0
         self.rejections_per_server = {}
         if self.registry is not None:
             self.registry.reset()
@@ -160,6 +176,18 @@ class SimulationMetrics:
         if self.registry is not None:
             self.registry.counter("drm.attempts").inc()
 
+    def record_relocation(self) -> None:
+        """One orphaned stream moved to a new home (failover / shedding).
+
+        Counted in ``migrations`` like any other stream move, but kept
+        consistent with the registry's ``drm.migrations`` counter (the
+        old failover path bumped the dataclass field directly and let
+        the two diverge).
+        """
+        self.migrations += 1
+        if self.registry is not None:
+            self.registry.counter("drm.migrations").inc()
+
     def record_underrun(self) -> None:
         """A stream's client buffer emptied while starved of bandwidth."""
         self.underruns += 1
@@ -177,6 +205,34 @@ class SimulationMetrics:
         self.dropped += 1
         if self.registry is not None:
             self.registry.counter("requests.dropped").inc()
+
+    # ------------------------------------------------------------------
+    # Graceful degradation / fault injection
+    # ------------------------------------------------------------------
+    def record_retry(self, backoff: float) -> None:
+        """One resubmission attempt scheduled after *backoff* seconds."""
+        self.retries += 1
+        if self.registry is not None:
+            self.registry.counter("retry.scheduled").inc()
+            self.registry.histogram("retry.backoff_seconds").observe(backoff)
+
+    def record_retry_success(self) -> None:
+        """A resubmitted request was admitted."""
+        self.retry_successes += 1
+        if self.registry is not None:
+            self.registry.counter("retry.succeeded").inc()
+
+    def record_retry_exhausted(self) -> None:
+        """A request was permanently abandoned by the retry queue."""
+        self.retry_exhausted += 1
+        if self.registry is not None:
+            self.registry.counter("retry.exhausted").inc()
+
+    def record_fault(self, kind: str) -> None:
+        """One injected fault of *kind* (``crash``/``degrade``/...)."""
+        self.faults_injected += 1
+        if self.registry is not None:
+            self.registry.counter(f"faults.{kind}").inc()
 
     # ------------------------------------------------------------------
     # Derived measures
@@ -198,6 +254,35 @@ class SimulationMetrics:
     @property
     def rejection_ratio(self) -> float:
         return self.rejected / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def distinct_arrivals(self) -> int:
+        """Arrivals net of retry resubmissions (one per real viewer)."""
+        return self.arrivals - self.retries
+
+    @property
+    def backoff_success_ratio(self) -> float:
+        """Fraction of scheduled retries that ended in admission
+        (1.0 when no retries were needed)."""
+        return self.retry_successes / self.retries if self.retries else 1.0
+
+    def availability(self, pending_retries: int = 0) -> float:
+        """Fraction of distinct requests not permanently denied service.
+
+        With a retry queue attached every rejection/drop re-enters the
+        queue, so the only permanently lost requests are the exhausted
+        ones plus whatever is still *pending* in the queue at the end of
+        the run (conservatively counted as denied).  Without a retry
+        queue this degenerates to ``1 - (rejected + dropped)/arrivals``.
+        """
+        distinct = self.distinct_arrivals
+        if distinct <= 0:
+            return 1.0
+        if self.retries or self.retry_exhausted or pending_retries:
+            denied = self.retry_exhausted + pending_retries
+        else:
+            denied = self.rejected + self.dropped
+        return max(0.0, 1.0 - denied / distinct)
 
     def server_utilization(
         self, server_id: int, bandwidth: float, duration: float

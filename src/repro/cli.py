@@ -12,6 +12,8 @@ Subcommands regenerate each reproduced artifact::
     repro-vod run --system small --theta 0.3 --staging 0.2 --migrate
     repro-vod trace fig5 --trace-out fig5.jsonl     # structured trace
     repro-vod bench --quick                         # perf benchmark
+    repro-vod chaos availability                    # availability vs MTBF
+    repro-vod chaos soak --hours 8                  # invariant-checked run
 
 ``--scale`` (or REPRO_SCALE) trades fidelity for speed; 1.0 is the
 paper's 5 trials × 1000 h.
@@ -35,6 +37,7 @@ from repro import __version__, obs
 from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SystemConfig
 from repro.core.migration import MigrationPolicy
 from repro.experiments import ablation as ablation_mod
+from repro.experiments import availability as avail_mod
 from repro.experiments import client_mix as mix_mod
 from repro.experiments import dynamic_replication as dr_mod
 from repro.experiments import fig4_drm, fig5_staging, fig7_policies
@@ -52,6 +55,9 @@ SYSTEMS = {"small": SMALL_SYSTEM, "large": LARGE_SYSTEM}
 
 #: Experiments the ``trace`` subcommand knows how to run standalone.
 TRACE_EXPERIMENTS = ("fig4", "fig5", "fig7")
+
+#: Modes of the ``chaos`` subcommand.
+CHAOS_EXPERIMENTS = ("availability", "soak")
 
 
 def _system(name: str) -> SystemConfig:
@@ -170,6 +176,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="root random seed")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress lines")
+
+    p = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection (repro.faults): availability "
+             "sweep or an invariant-checked soak run",
+    )
+    p.add_argument(
+        "experiment", choices=CHAOS_EXPERIMENTS,
+        help="availability: availability vs MTBF, EFTF+DRM vs no-DRM; "
+             "soak: one seeded chaos run with the online invariant "
+             "checker (exit 1 on any violation)",
+    )
+    p.add_argument("--system", default="small", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--mtbf-hours", type=float, default=1.0,
+        help="(soak) per-server mean time between crashes",
+    )
+    p.add_argument(
+        "--hours", type=float, default=8.0, dest="sim_hours",
+        help="(soak) simulated hours",
+    )
+    _add_common(p)
 
     p = sub.add_parser("run", help="one ad-hoc simulation")
     p.add_argument("--system", default="small", choices=sorted(SYSTEMS))
@@ -417,6 +445,66 @@ def _cmd_bench(args) -> int:
     return 0 if report["sweep"]["identical"] else 1
 
 
+def _cmd_chaos(args, progress) -> int:
+    """``repro chaos <experiment>``: fault-injection entry points.
+
+    ``availability`` sweeps availability vs per-server MTBF (EFTF+DRM
+    vs no-DRM); ``soak`` runs one seeded chaos scenario — all three
+    fault classes plus the retry queue — with the online invariant
+    checker attached, exiting 1 on any violation (the CI chaos-soak
+    job's gate).
+    """
+    if args.experiment == "availability":
+        result = avail_mod.run_availability(
+            system=_system(args.system), scale=args.scale,
+            seed=args.seed, progress=progress,
+        )
+        print(result.render(
+            title=f"Availability vs MTBF ({args.system} system)"
+        ))
+        return 0
+
+    from repro.cluster.request import reset_request_ids
+    from repro.faults import (
+        CrashFaults, FaultPlan, InvariantViolation, LinkFaults,
+        ReplicaFaults, RetryPolicy,
+    )
+
+    mtbf = hours(args.mtbf_hours)
+    config = SimulationConfig(
+        system=_system(args.system),
+        theta=0.3,
+        placement="even",
+        migration=MigrationPolicy.paper_default(),
+        staging_fraction=0.2,
+        duration=hours(args.sim_hours),
+        seed=args.seed,
+        faults=FaultPlan(
+            crash=CrashFaults(mtbf=mtbf, mttr=mtbf / 4.0, correlation=0.1),
+            link=LinkFaults(mtbf=mtbf * 1.5, mttr=mtbf / 2.0),
+            replica=ReplicaFaults(mean_interval=mtbf * 2.0),
+        ),
+        retry=RetryPolicy(),
+        invariants=True,
+    )
+    reset_request_ids()
+    sim = Simulation(config)
+    try:
+        result = sim.run()
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    checks = sim.invariant_checker.checks_run
+    print(result)
+    print(
+        f"  faults={result.faults_injected} dropped={result.dropped} "
+        f"retries={result.retries} exhausted={result.retry_exhausted} "
+        f"availability={result.availability:.4f}"
+    )
+    print(f"  invariants clean ({checks} state sweeps)")
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "fig6":
         print(fig7_policies.policy_matrix_table())
@@ -452,6 +540,8 @@ def _dispatch(args) -> int:
         return 0
 
     progress = _progress(args.quiet)
+    if args.command == "chaos":
+        return _cmd_chaos(args, progress)
     if args.command == "all":
         return _run_all(args)
     if args.command == "fig4":

@@ -128,27 +128,54 @@ class DistributionController:
             client=self._profile_for(video_id),
             arrival_time=now,
         )
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.emit(
+        if self.tracer is not None:
+            self.tracer.emit(
                 TraceKind.REQUEST_ARRIVE, now,
                 request=request.request_id, video=video_id,
             )
         outcome = self.admission.submit(request, now)
-        if tracer is not None:
+        self._after_decision(outcome, request, now)
+        return outcome
+
+    def resubmit(self, request: Request) -> AdmissionOutcome:
+        """Re-run admission for a retry-queue resubmission.
+
+        The caller (:class:`repro.faults.retry.RetryQueue`) has already
+        reset the request via :meth:`Request.prepare_retry`.  Every
+        attempt counts as an arrival, is traced like one, and runs the
+        decision hooks — so a re-rejection flows straight back into the
+        retry queue's own hook.
+        """
+        now = self.engine.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceKind.REQUEST_ARRIVE, now,
+                request=request.request_id, video=request.video.video_id,
+            )
+        outcome = self.admission.submit(request, now, retry=True)
+        self._after_decision(outcome, request, now)
+        return outcome
+
+    def _after_decision(
+        self, outcome: AdmissionOutcome, request: Request, now: float
+    ) -> None:
+        """Shared post-admission tracing + decision hooks."""
+        if self.tracer is not None:
             if outcome.accepted:
-                tracer.emit(
+                self.tracer.emit(
                     TraceKind.REQUEST_ADMIT, now,
-                    request=request.request_id, video=video_id,
+                    request=request.request_id,
+                    video=request.video.video_id,
                     server=request.server_id,
                     migrated=(
                         outcome is AdmissionOutcome.ACCEPTED_WITH_MIGRATION
                     ),
                 )
             else:
-                tracer.emit(
+                self.tracer.emit(
                     TraceKind.REQUEST_REJECT, now,
-                    request=request.request_id, video=video_id,
+                    request=request.request_id,
+                    video=request.video.video_id,
                     reason=(
                         "no_replica"
                         if outcome is AdmissionOutcome.REJECTED_NO_REPLICA
@@ -157,7 +184,6 @@ class DistributionController:
                 )
         for hook in self.decision_hooks:
             hook(outcome, request)
-        return outcome
 
     def _on_finish(self, request: Request) -> None:
         self.metrics.record_finish()

@@ -39,6 +39,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
 EPS_MB: float = 1e-6
 
 
+def reset_request_ids() -> None:
+    """Restart the global request-id counter at zero.
+
+    Request ids are process-global, and they seed per-request RNG
+    substreams (retry jitter keys off ``retry.req<id>``), so leftover
+    counter state from a previous in-process run would change both
+    trace bytes and results.  :class:`repro.Simulation` calls this at
+    construction so every run is hermetic — same seed, same ids, same
+    trace — even in a reused sweep worker process; hand-wired harnesses
+    that build requests directly can call it themselves.
+    """
+    Request._ids = itertools.count()
+
+
 class RequestState(enum.Enum):
     """Lifecycle states of a request."""
 
@@ -227,6 +241,33 @@ class Request:
             )
         self.playback_start += now - self.playback_pause_time
         self.playback_pause_time = float("inf")
+
+    # ------------------------------------------------------------------
+    # Retry lifecycle (graceful degradation, repro.faults.retry)
+    # ------------------------------------------------------------------
+    def prepare_retry(self, now: float) -> None:
+        """Re-enter the admission pipeline at *now* after a rejection or
+        a mid-stream drop.
+
+        A never-served request restarts playback from the resubmission
+        instant; a dropped stream keeps its transmitted bytes (the
+        viewer's player is stalled — the retry queue freezes consumption
+        via :meth:`pause_playback` at drop time and resumes it only once
+        the stream is re-admitted).
+        """
+        if self.state not in (RequestState.REJECTED, RequestState.DROPPED):
+            raise ValueError(
+                f"cannot retry a request in state {self.state.value}"
+            )
+        self.state = RequestState.ACTIVE
+        self.rate = 0.0
+        self.server_id = None
+        self.finish_time = None
+        self.last_sync = float(now)
+        if self.bytes_sent <= EPS_MB and not self.playback_paused:
+            # Nothing was ever sent: playback starts when (if) the
+            # retry is admitted, not at the original arrival.
+            self.playback_start = float(now)
 
     # ------------------------------------------------------------------
     # State transitions

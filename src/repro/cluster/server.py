@@ -45,6 +45,9 @@ class DataServer:
             )
         self.server_id = int(server_id)
         self.bandwidth = float(bandwidth)
+        #: Healthy-link capacity; ``bandwidth`` drops below this while a
+        #: partial link degradation fault is active.
+        self.nominal_bandwidth = float(bandwidth)
         self.disk_capacity = float(disk_capacity)
         self.holdings: Set[int] = set()
         self.storage_used = 0.0
@@ -168,6 +171,25 @@ class DataServer:
     # ------------------------------------------------------------------
     # Failure model
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True while the outbound link runs below nominal capacity."""
+        return self.bandwidth < self.nominal_bandwidth
+
+    def set_link_scale(self, factor: float) -> None:
+        """Scale the outbound link to ``factor * nominal`` (partial link
+        degradation fault).  ``factor=1`` restores the healthy link.
+
+        The caller (:class:`repro.core.failover.FailoverManager`) is
+        responsible for shedding streams whose minimum-flow floor no
+        longer fits — this only moves the capacity number.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(
+                f"link scale factor must be in (0, 1], got {factor}"
+            )
+        self.bandwidth = self.nominal_bandwidth * factor
+
     def fail(self) -> List[Request]:
         """Take the server down; returns (and detaches) its streams."""
         self.up = False

@@ -127,9 +127,27 @@ class AdmissionController:
             if sid in self.servers and self.servers[sid].up
         ]
 
-    def submit(self, request: Request, now: float) -> AdmissionOutcome:
-        """Run the full admission pipeline for *request*."""
+    def submit(
+        self, request: Request, now: float, retry: bool = False
+    ) -> AdmissionOutcome:
+        """Run the full admission pipeline for *request*.
+
+        Args:
+            request: the (possibly resubmitted) stream request.
+            now: current simulation time.
+            retry: True when this is a retry-queue resubmission; each
+                attempt still counts as an arrival (so the
+                ``accepted + rejected == arrivals`` identity holds per
+                attempt) but an admitted retry is additionally counted
+                as a backoff success.
+        """
         self.metrics.record_arrival()
+        outcome = self._decide(request, now)
+        if retry and outcome.accepted:
+            self.metrics.record_retry_success()
+        return outcome
+
+    def _decide(self, request: Request, now: float) -> AdmissionOutcome:
         video_id = request.video.video_id
         tracer = self.tracer
         holders = self.candidate_holders(video_id)

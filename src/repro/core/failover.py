@@ -14,11 +14,12 @@ not apply to failover moves — losing the stream is strictly worse.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.analysis.metrics import SimulationMetrics
-from repro.cluster.request import Request
+from repro.cluster.request import EPS_MB, Request
 from repro.cluster.server import DataServer
+from repro.workload.catalog import Video
 from repro.core.migration import (
     MigrationPolicy,
     execute_chain,
@@ -79,12 +80,23 @@ class FailoverManager:
         self.rescue_policy = rescue_policy or MigrationPolicy.unlimited_hops()
         self.tracer = tracer
         self.reports: List[FailoverReport] = []
+        #: Called with each stream lost mid-flight (after it is marked
+        #: dropped and counted) — the graceful-degradation retry queue
+        #: registers here to capture failure orphans.
+        self.on_drop: List[Callable[[Request], None]] = []
 
     # ------------------------------------------------------------------
     def fail_server(self, server_id: int) -> FailoverReport:
-        """Take *server_id* down now and relocate its streams."""
+        """Take *server_id* down now and relocate its streams.
+
+        Idempotent: failing an already-down server (correlated fault
+        plans can draw overlapping outages) is a no-op that emits no
+        trace and appends no report.
+        """
         now = self.engine.now
         server = self.servers[server_id]
+        if not server.up:
+            return FailoverReport(server_id=server_id, time=now)
         manager = self.managers[server_id]
         # Account for everything transmitted up to the failure instant.
         manager.flush(now)
@@ -101,20 +113,20 @@ class FailoverManager:
             if self._relocate(request, now):
                 report.relocated.append(request.request_id)
             else:
-                request.mark_dropped(now)
-                self.metrics.record_drop()
+                self._drop(request, server_id, now)
                 report.dropped.append(request.request_id)
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        TraceKind.REQUEST_DROP, now,
-                        request=request.request_id, server=server_id,
-                    )
         self.reports.append(report)
         return report
 
     def restore_server(self, server_id: int) -> None:
-        """Bring a failed server back into admission rotation."""
+        """Bring a failed server back into admission rotation.
+
+        Idempotent: restoring an up server is a no-op (no duplicate
+        ``server.recover`` trace, no spurious reallocation).
+        """
         server = self.servers[server_id]
+        if server.up:
+            return
         server.restore()
         self.managers[server_id].reallocate(self.engine.now)
         if self.tracer is not None:
@@ -123,13 +135,125 @@ class FailoverManager:
             )
 
     # ------------------------------------------------------------------
-    def _relocate(self, request: Request, now: float) -> bool:
+    # Partial degradation (beyond binary fail/restore)
+    # ------------------------------------------------------------------
+    def degrade_server(self, server_id: int, factor: float) -> FailoverReport:
+        """Scale *server_id*'s outbound link to ``factor * nominal``.
+
+        Streams whose minimum-flow floor no longer fits are shed
+        newest-first (they have the most data left to lose the least
+        progress) and relocated like failure orphans; the survivors are
+        then reallocated inside the reduced link.  A no-op on a down
+        server (the link does not matter while the node is out).
+        """
+        now = self.engine.now
+        server = self.servers[server_id]
+        report = FailoverReport(server_id=server_id, time=now)
+        if not server.up:
+            return report
+        manager = self.managers[server_id]
+        manager.flush(now)
+        server.set_link_scale(factor)
+        victims: List[Request] = []
+        active = list(server.iter_active())
+        while server.reserved_bandwidth > server.bandwidth + EPS_MB and active:
+            victim = active.pop()  # newest admission first
+            server.detach(victim)
+            victim.rate = 0.0
+            victims.append(victim)
+        for request in victims:
+            if self._relocate(request, now, exclude=server_id):
+                report.relocated.append(request.request_id)
+            else:
+                self._drop(request, server_id, now)
+                report.dropped.append(request.request_id)
+        manager.reallocate(now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceKind.SERVER_DEGRADE, now,
+                server=server_id, factor=factor, shed=len(victims),
+            )
+        self.reports.append(report)
+        return report
+
+    def restore_link(self, server_id: int) -> None:
+        """Return a degraded server's link to nominal capacity."""
+        now = self.engine.now
+        server = self.servers[server_id]
+        if not server.degraded:
+            return
+        server.set_link_scale(1.0)
+        if server.up:
+            self.managers[server_id].reallocate(now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceKind.SERVER_LINK_RESTORE, now, server=server_id
+            )
+
+    def lose_replica(self, server_id: int, video: Video) -> FailoverReport:
+        """Destroy *server_id*'s on-disk replica of *video*.
+
+        Streams of that video currently served there are orphaned and
+        relocated to the surviving holders (or dropped); the placement
+        map forgets the holder so admission stops routing here.  A no-op
+        when the server holds no such replica.
+        """
+        now = self.engine.now
+        server = self.servers[server_id]
+        report = FailoverReport(server_id=server_id, time=now)
+        if not server.holds(video.video_id):
+            return report
+        manager = self.managers[server_id]
+        if server.up:
+            manager.flush(now)
+        orphans = [
+            r for r in server.iter_active()
+            if r.video.video_id == video.video_id
+        ]
+        for request in orphans:
+            server.detach(request)
+            request.rate = 0.0
+        server.drop_replica(video)
+        self.placement.remove_holder(video.video_id, server_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceKind.SERVER_REPLICA_LOSS, now,
+                server=server_id, video=video.video_id, orphans=len(orphans),
+            )
+        for request in orphans:
+            if self._relocate(request, now):
+                report.relocated.append(request.request_id)
+            else:
+                self._drop(request, server_id, now)
+                report.dropped.append(request.request_id)
+        if server.up:
+            manager.reallocate(now)
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _drop(self, request: Request, server_id: int, now: float) -> None:
+        """Mark an unrescuable orphan dropped and notify subscribers."""
+        request.mark_dropped(now)
+        self.metrics.record_drop()
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceKind.REQUEST_DROP, now,
+                request=request.request_id, server=server_id,
+            )
+        for hook in self.on_drop:
+            hook(request)
+
+    def _relocate(
+        self, request: Request, now: float, exclude: Optional[int] = None
+    ) -> bool:
         """Find the orphan a new home: direct slot, else a DRM chain."""
         video_id = request.video.video_id
         holders = [
             self.servers[sid]
             for sid in self.placement.holders(video_id)
             if sid in self.servers and self.servers[sid].up
+            and sid != exclude
         ]
         holders.sort(key=lambda s: (s.active_count, s.server_id))
         for target in holders:
@@ -156,7 +280,7 @@ class FailoverManager:
         if self.rescue_policy.switch_delay > 0.0:
             request.paused_until = now + self.rescue_policy.switch_delay
         request.hops += 1
-        self.metrics.migrations += 1
+        self.metrics.record_relocation()
         source_id = request.server_id
         self.managers[target_id].migrate_in(request, now)
         if self.tracer is not None:

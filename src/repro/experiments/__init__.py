@@ -31,6 +31,9 @@ Experiment index (DESIGN.md §3):
   pause/resume, relaxing Theorem 1's no-pause assumption.
 * :mod:`repro.experiments.client_mix` — EXT-MIX: heterogeneous client
   capabilities (partial staging rollout).
+* :mod:`repro.experiments.availability` — EXT-CHAOS: availability vs
+  MTBF under deterministic fault injection, EFTF+DRM vs no-DRM
+  (docs/ROBUSTNESS.md; ``repro-vod chaos availability``).
 """
 
 from repro.experiments.base import (

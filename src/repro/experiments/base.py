@@ -132,6 +132,36 @@ def _run_one(config: SimulationConfig) -> SimulationResult:
     return Simulation(config).run()
 
 
+class SweepCellError(RuntimeError):
+    """A sweep grid cell failed twice (original run + in-process retry).
+
+    The message pins down the exact ``(x, variant, trial)`` cell so a
+    multi-hour sweep failure is reproducible with a single run.
+    """
+
+    def __init__(self, cell: str, cause: BaseException) -> None:
+        super().__init__(
+            f"sweep cell [{cell}] failed twice; first failure: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.cell = cell
+
+
+def _retry_cell(
+    config: SimulationConfig, cell: str, cause: BaseException
+) -> SimulationResult:
+    """One in-process retry for a failed cell.
+
+    Transient failures (a worker OOM-killed, a flaky interpreter) get a
+    second chance without losing the rest of the sweep; a deterministic
+    failure surfaces as :class:`SweepCellError` naming the cell.
+    """
+    try:
+        return _run_one(config)
+    except Exception as retry_exc:
+        raise SweepCellError(cell, cause) from retry_exc
+
+
 def _worker_count() -> int:
     if obs_active():
         # Tracing/profiling aggregate in-process (JSONL appends and the
@@ -241,6 +271,9 @@ def run_sweep(
     x_field: str = "theta",
     base_seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    x_apply: Optional[
+        Callable[[SimulationConfig, float], SimulationConfig]
+    ] = None,
 ) -> SweepResult:
     """Run a full (x × variant × trial) grid and summarise.
 
@@ -263,6 +296,16 @@ def run_sweep(
         base_seed: root of the common-random-number seed ladder.
         progress: optional callback receiving one line per grid point
             (in completion order when parallel, grid order when serial).
+        x_apply: custom ``(config, x) -> config`` transform used instead
+            of ``replace(config, x_field=x)`` — for sweeps whose x-axis
+            is not a flat :class:`SimulationConfig` field (e.g. the MTBF
+            inside a nested :class:`~repro.faults.FaultPlan`);
+            ``x_field`` then only labels the axis.
+
+    Failure semantics: a cell that raises is retried once in-process; a
+    second failure raises :class:`SweepCellError` naming the exact
+    ``(x, variant, trial)`` cell.  ``KeyboardInterrupt`` cancels all
+    pending cells and shuts the pool down instead of hanging on exit.
     """
     base = dataclasses.replace(
         base, duration=scale.duration, warmup=scale.warmup
@@ -273,13 +316,23 @@ def run_sweep(
     tasks: List[Tuple[_CellKey, int, SimulationConfig]] = []
     for xi, x in enumerate(x_values):
         for vi, variant in enumerate(variants):
-            config = dataclasses.replace(
-                variant.apply(base), **{x_field: x}
-            )
+            if x_apply is not None:
+                config = x_apply(variant.apply(base), x)
+            else:
+                config = dataclasses.replace(
+                    variant.apply(base), **{x_field: x}
+                )
             for ti, trial_config in enumerate(
                 _trial_configs(config, scale.trials, base_seed)
             ):
                 tasks.append(((xi, vi), ti, trial_config))
+
+    def describe_cell(key: _CellKey, ti: int) -> str:
+        xi, vi = key
+        return (
+            f"{x_field}={x_values[xi]!r}, "
+            f"variant={variants[vi].label!r}, trial={ti}"
+        )
 
     def emit(key: _CellKey, stats: SummaryStats) -> None:
         if progress is not None:
@@ -297,7 +350,13 @@ def run_sweep(
         # obs aggregation (traces/profiles accumulate in this process).
         values: List[float] = []
         for key, ti, config in tasks:
-            values.append(getattr(_run_one(config), metric))
+            try:
+                result = _run_one(config)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                result = _retry_cell(config, describe_cell(key, ti), exc)
+            values.append(getattr(result, metric))
             if ti == scale.trials - 1:
                 cell_stats[key] = summarize(values)
                 emit(key, cell_stats[key])
@@ -310,19 +369,37 @@ def run_sweep(
         cell_values: Dict[_CellKey, List[Optional[float]]] = {}
         cell_remaining: Dict[_CellKey, int] = {}
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_run_one, config): (key, ti)
-                for key, ti, config in tasks
-            }
-            for future in as_completed(futures):
-                key, ti = futures[future]
-                slots = cell_values.setdefault(key, [None] * scale.trials)
-                slots[ti] = getattr(future.result(), metric)
-                left = cell_remaining.get(key, scale.trials) - 1
-                cell_remaining[key] = left
-                if left == 0:
-                    cell_stats[key] = summarize(slots)
-                    emit(key, cell_stats[key])
+            try:
+                futures = {
+                    pool.submit(_run_one, config): (key, ti, config)
+                    for key, ti, config in tasks
+                }
+                for future in as_completed(futures):
+                    key, ti, config = futures[future]
+                    try:
+                        result = future.result()
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        # One in-process retry rescues transient worker
+                        # deaths without losing the rest of the sweep.
+                        result = _retry_cell(
+                            config, describe_cell(key, ti), exc
+                        )
+                    slots = cell_values.setdefault(
+                        key, [None] * scale.trials
+                    )
+                    slots[ti] = getattr(result, metric)
+                    left = cell_remaining.get(key, scale.trials) - 1
+                    cell_remaining[key] = left
+                    if left == 0:
+                        cell_stats[key] = summarize(slots)
+                        emit(key, cell_stats[key])
+            except KeyboardInterrupt:
+                # Without this, the context manager's shutdown(wait=True)
+                # blocks until every queued simulation finishes.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
 
     curves: Dict[str, List[SummaryStats]] = {
         variant.label: [

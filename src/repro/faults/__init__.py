@@ -1,0 +1,39 @@
+"""Deterministic fault injection, online invariants, graceful degradation.
+
+The paper's Section 3.1 remark — DRM "can help deal with node server
+failures" — is exercised here as a first-class workload: a declarative
+:class:`FaultPlan` is expanded by the :class:`FaultInjector` into
+engine-scheduled failure/repair processes driven by the run's named RNG
+substreams, so identical seeds give byte-identical chaos runs.  The
+:class:`InvariantChecker` rides along as an engine trace subscriber and
+halts the run with a structured :class:`InvariantViolation` the moment
+the fluid-flow state stops conserving bytes or overcommits a link.  The
+:class:`RetryQueue` closes the loop on the client side: rejected and
+failure-orphaned requests re-enter admission with exponential backoff
+instead of being silently lost.
+
+See ``docs/ROBUSTNESS.md`` for the fault model and how to read chaos
+traces.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.plan import (
+    CrashFaults,
+    FaultPlan,
+    LinkFaults,
+    ReplicaFaults,
+)
+from repro.faults.retry import RetryPolicy, RetryQueue
+
+__all__ = [
+    "CrashFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LinkFaults",
+    "ReplicaFaults",
+    "RetryPolicy",
+    "RetryQueue",
+]

@@ -27,6 +27,8 @@ CLI ``--trace-out`` / ``--profile`` flags):
 
 * ``REPRO_TRACE_OUT=<path>`` — append a JSONL trace of every run.
 * ``REPRO_PROFILE=1`` — profile events and aggregate a report.
+* ``REPRO_INVARIANTS=1`` — attach the online invariant checker
+  (:mod:`repro.faults.invariants`) to every run.
 
 See ``docs/OBSERVABILITY.md`` for the record schema and metric names.
 """
@@ -36,7 +38,12 @@ from repro.obs.profiler import EventProfiler, ProfileReport
 from repro.obs.provenance import config_hash, run_provenance
 from repro.obs.records import TraceKind, TraceRecord
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.runtime import env_profile_enabled, env_trace_path, obs_active
+from repro.obs.runtime import (
+    env_invariants_enabled,
+    env_profile_enabled,
+    env_trace_path,
+    obs_active,
+)
 from repro.obs.tracer import Tracer
 
 __all__ = [
@@ -50,6 +57,7 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "config_hash",
+    "env_invariants_enabled",
     "env_profile_enabled",
     "env_trace_path",
     "get_logger",

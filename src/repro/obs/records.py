@@ -39,10 +39,20 @@ class TraceKind(str, enum.Enum):
     REQUEST_FINISH = "request.finish"
     REQUEST_DROP = "request.drop"
 
+    # -- graceful degradation (bounded retry queue) ------------------
+    REQUEST_RETRY = "request.retry"
+    REQUEST_RETRY_EXHAUST = "request.retry_exhaust"
+
     # -- server health -----------------------------------------------
     SERVER_SATURATE = "server.saturate"
     SERVER_FAIL = "server.fail"
     SERVER_RECOVER = "server.recover"
+    SERVER_DEGRADE = "server.degrade"
+    SERVER_LINK_RESTORE = "server.link_restore"
+    SERVER_REPLICA_LOSS = "server.replica_loss"
+
+    # -- online invariant checking -----------------------------------
+    INVARIANT_VIOLATION = "invariant.violation"
 
     # -- scheduler / stream dynamics ---------------------------------
     SCHED_REALLOC = "sched.realloc"
@@ -64,9 +74,16 @@ KIND_FIELDS: Dict[TraceKind, tuple] = {
     TraceKind.REQUEST_MIGRATE: ("request", "source", "target", "cause"),
     TraceKind.REQUEST_FINISH: ("request", "server"),
     TraceKind.REQUEST_DROP: ("request", "server"),
+    TraceKind.REQUEST_RETRY: ("request", "video", "attempt", "delay"),
+    TraceKind.REQUEST_RETRY_EXHAUST: ("request", "video", "attempts",
+                                      "reason"),
     TraceKind.SERVER_SATURATE: ("servers", "video"),
     TraceKind.SERVER_FAIL: ("server", "orphans"),
     TraceKind.SERVER_RECOVER: ("server",),
+    TraceKind.SERVER_DEGRADE: ("server", "factor", "shed"),
+    TraceKind.SERVER_LINK_RESTORE: ("server",),
+    TraceKind.SERVER_REPLICA_LOSS: ("server", "video", "orphans"),
+    TraceKind.INVARIANT_VIOLATION: ("invariant", "subject", "detail"),
     TraceKind.SCHED_REALLOC: ("server", "allocator", "streams", "boosted"),
     TraceKind.STREAM_BUFFER_FULL: ("request", "server"),
     TraceKind.STREAM_UNDERRUN: ("request", "server"),

@@ -25,6 +25,7 @@ from typing import Optional
 
 TRACE_OUT_VAR = "REPRO_TRACE_OUT"
 PROFILE_VAR = "REPRO_PROFILE"
+INVARIANTS_VAR = "REPRO_INVARIANTS"
 
 _FALSY = ("", "0", "false", "no", "off")
 
@@ -38,6 +39,18 @@ def env_trace_path() -> Optional[str]:
 def env_profile_enabled() -> bool:
     """Whether event profiling is requested via the environment."""
     return os.environ.get(PROFILE_VAR, "").strip().lower() not in _FALSY
+
+
+def env_invariants_enabled() -> bool:
+    """Whether online invariant checking is forced via the environment.
+
+    ``REPRO_INVARIANTS=1`` attaches a
+    :class:`repro.faults.invariants.InvariantChecker` to every
+    :class:`repro.Simulation` run — the CI chaos-soak job and local
+    debugging both use this to turn any experiment into a checked run
+    without touching its config.
+    """
+    return os.environ.get(INVARIANTS_VAR, "").strip().lower() not in _FALSY
 
 
 def obs_active() -> bool:

@@ -34,10 +34,19 @@ from repro import obs
 from repro.analysis.metrics import SimulationMetrics
 from repro.cluster.client import ClientProfile, staging_capacity
 from repro.cluster.controller import DistributionController
+from repro.cluster.request import reset_request_ids
 from repro.cluster.system import SystemConfig
 from repro.core.migration import MigrationPolicy
+from repro.core.failover import FailoverManager
 from repro.core.replication import DynamicReplicator, ReplicationPolicy
 from repro.core.schedulers import ALLOCATORS
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    InvariantChecker,
+    RetryPolicy,
+    RetryQueue,
+)
 from repro.placement import PLACEMENTS
 from repro.placement.base import PlacementResult
 from repro.sim.engine import Engine
@@ -80,6 +89,15 @@ class SimulationConfig:
             a tuple of ``(weight, staging_fraction)`` classes sampled
             per request.  ``None`` (default) gives every client the
             homogeneous ``staging_fraction`` buffer.
+        faults: declarative chaos schedule (see
+            :class:`repro.faults.FaultPlan`); ``None`` (default) injects
+            nothing, as in the paper.
+        retry: graceful-degradation retry queue configuration (see
+            :class:`repro.faults.RetryPolicy`); ``None`` (default)
+            loses rejected/orphaned requests, as in the paper.
+        invariants: attach the online invariant checker
+            (:class:`repro.faults.InvariantChecker`); also switchable
+            per-environment via ``REPRO_INVARIANTS=1``.
     """
 
     system: SystemConfig
@@ -98,6 +116,9 @@ class SimulationConfig:
     pause_hazard: float = 0.0
     mean_pause: float = 300.0
     client_mix: Optional[Tuple[Tuple[float, float], ...]] = None
+    faults: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+    invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.client_mix is not None:
@@ -176,6 +197,13 @@ class SimulationResult:
     megabits_sent: float
     placement_shortfall: int
     events_fired: int
+    #: Graceful-degradation / chaos measures (all zero-ish defaults so
+    #: fault-free runs read naturally).
+    retries: int = 0
+    retry_exhausted: int = 0
+    retry_pending: int = 0
+    faults_injected: int = 0
+    availability: float = 1.0
     #: Who/what produced this run (seed, version, config hash, REPRO_*
     #: env) — see :func:`repro.obs.provenance.run_provenance`.  Carries
     #: a timestamp, so it is excluded from equality comparisons.
@@ -216,6 +244,11 @@ class Simulation:
         profiler: Optional[obs.EventProfiler] = None,
     ) -> None:
         self.config = config
+        # Request ids restart at zero per Simulation: ids seed per-request
+        # RNG substreams (retry jitter), so a process-global counter
+        # would make results depend on how many runs a reused sweep
+        # worker had already executed.
+        reset_request_ids()
         self.streams = RandomStreams(seed=config.seed)
         self.engine = Engine()
 
@@ -308,6 +341,48 @@ class Simulation:
                 mean_pause_duration=config.mean_pause,
             )
 
+        # Robustness layer (repro.faults): failover mechanics are built
+        # whenever chaos or a retry queue needs them; the injector and
+        # checker are strictly opt-in.
+        inject = config.faults is not None and not config.faults.empty
+        self.failover: Optional[FailoverManager] = None
+        if inject or config.retry is not None:
+            self.failover = FailoverManager(
+                engine=self.engine,
+                servers=self.controller.servers,
+                managers=self.controller.managers,
+                placement=self.placement_result.placement,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+        self.retry_queue: Optional[RetryQueue] = None
+        if config.retry is not None:
+            self.retry_queue = RetryQueue(
+                engine=self.engine,
+                controller=self.controller,
+                streams=self.streams,
+                policy=config.retry,
+                failover=self.failover,
+                tracer=self.tracer,
+            )
+        self.fault_injector: Optional[FaultInjector] = None
+        if inject:
+            self.fault_injector = FaultInjector(
+                engine=self.engine,
+                failover=self.failover,
+                streams=self.streams,
+                plan=config.faults,
+                catalog=self.catalog,
+                metrics=self.metrics,
+            )
+            self.fault_injector.start()
+        self.invariant_checker: Optional[InvariantChecker] = None
+        if config.invariants or obs.env_invariants_enabled():
+            self.invariant_checker = InvariantChecker(
+                self.engine, self.controller, tracer=self.tracer
+            )
+            self.invariant_checker.attach()
+
         self.replicator: Optional[DynamicReplicator] = None
         if config.replication is not None:
             self.replicator = DynamicReplicator(
@@ -361,6 +436,8 @@ class Simulation:
             if self.profiler is not None:
                 self.profiler.detach()
         self._arrivals.stop()
+        if self.invariant_checker is not None:
+            self.invariant_checker.check_now()
         self.controller.finalize(cfg.duration)
         provenance = obs.run_provenance(seed=cfg.seed, config=cfg)
         if self.tracer is not None and self._trace_path is not None:
@@ -374,6 +451,7 @@ class Simulation:
         metrics = self.metrics
         total_bw = cfg.system.total_bandwidth
         window = cfg.duration - cfg.warmup
+        pending = self.retry_queue.pending if self.retry_queue else 0
         return SimulationResult(
             config=cfg,
             utilization=metrics.utilization(total_bw, window),
@@ -392,6 +470,11 @@ class Simulation:
             megabits_sent=metrics.total_megabits,
             placement_shortfall=self.placement_result.shortfall,
             events_fired=self.engine.events_fired,
+            retries=metrics.retries,
+            retry_exhausted=metrics.retry_exhausted,
+            retry_pending=pending,
+            faults_injected=metrics.faults_injected,
+            availability=metrics.availability(pending_retries=pending),
             provenance=provenance,
         )
 

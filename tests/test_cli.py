@@ -79,6 +79,43 @@ class TestMain:
         assert out.exists()
 
 
+class TestChaosCLI:
+    def test_chaos_subcommand_documented_in_help(self, capsys):
+        parser = build_parser()
+        args = parser.parse_args(["chaos", "availability"])
+        assert args.command == "chaos"
+        with pytest.raises(SystemExit) as exc:
+            parser.parse_args(["chaos", "--help"])
+        assert exc.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "availability" in help_text and "soak" in help_text
+        assert "--mtbf-hours" in help_text
+        assert "invariant" in help_text
+
+    def test_chaos_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "meltdown"])
+
+    def test_chaos_soak_micro_reports_clean_invariants(self, capsys):
+        code = main([
+            "chaos", "soak", "--hours", "0.5", "--mtbf-hours", "0.1",
+            "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invariants clean" in out
+        assert "faults=" in out
+
+    def test_chaos_availability_micro(self, capsys):
+        code = main([
+            "chaos", "availability", "--scale", "0.0005", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Availability vs MTBF" in out
+        assert "EFTF + DRM" in out and "no DRM" in out
+
+
 class TestObservabilityCLI:
     def test_version_flag(self, capsys):
         from repro import __version__

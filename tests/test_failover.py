@@ -118,3 +118,146 @@ class TestFailServer:
         assert len(failover.reports) == 2
         assert failover.reports[0].server_id == 0
         assert failover.reports[1].server_id == 1
+
+
+class TestFailRestoreFailCycles:
+    """Regression: restore-under-load must not double-count streams."""
+
+    def test_migration_accounting_matches_registry_across_cycles(self):
+        # The old failover path bumped ``metrics.migrations`` directly,
+        # so after a fail -> restore -> fail cycle the dataclass field
+        # and the registry's ``drm.migrations`` counter diverged.
+        from repro.obs.registry import MetricsRegistry
+
+        cluster, failover = cluster_with_failover({0: [0, 1]})
+        cluster.metrics.registry = MetricsRegistry()
+        a, _ = cluster.submit(0)
+        b, _ = cluster.submit(0)
+        cluster.engine.run_until(1.0)
+        failover.fail_server(0)      # a relocates to 1
+        cluster.engine.run_until(2.0)
+        failover.restore_server(0)
+        cluster.engine.run_until(3.0)
+        failover.fail_server(1)      # both relocate back to 0
+        cluster.engine.run_until(4.0)
+        assert cluster.metrics.migrations == 3
+        registry_migrations = cluster.metrics.registry.counter(
+            "drm.migrations"
+        ).value
+        assert registry_migrations == cluster.metrics.migrations
+
+    def test_streams_attached_exactly_once_after_cycles(self):
+        cluster, failover = cluster_with_failover({0: [0, 1]})
+        a, _ = cluster.submit(0)
+        b, _ = cluster.submit(0)
+        cluster.engine.run_until(1.0)
+        failover.fail_server(0)
+        failover.restore_server(0)
+        failover.fail_server(1)
+        live = [r for r in (a, b) if r.state is RequestState.ACTIVE]
+        attached = sum(s.active_count for s in cluster.servers.values())
+        assert attached == len(live)
+        for request in live:
+            holder = cluster.servers[request.server_id]
+            assert sum(1 for r in holder.iter_active() if r is request) == 1
+
+    def test_double_fail_is_noop(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        a, _ = cluster.submit(0)
+        cluster.engine.run_until(1.0)
+        first = failover.fail_server(0)
+        again = failover.fail_server(0)
+        assert first.dropped == [a.request_id]
+        assert again.relocated == [] and again.dropped == []
+        assert len(failover.reports) == 1
+        assert cluster.metrics.dropped == 1
+
+    def test_double_restore_is_noop(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        cluster.submit(0)
+        failover.fail_server(0)
+        failover.restore_server(0)
+        before = cluster.metrics.migrations
+        failover.restore_server(0)  # already up: nothing should move
+        assert cluster.metrics.migrations == before
+        assert cluster.servers[0].up
+
+
+class TestDegradeServer:
+    def test_shed_newest_first_drops_when_no_other_holder(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        a, _ = cluster.submit(0)
+        b, _ = cluster.submit(0)
+        cluster.engine.run_until(1.0)
+        report = failover.degrade_server(0, 0.6)  # link 2.0 -> 1.2 Mb/s
+        assert report.dropped == [b.request_id]  # newest admission shed
+        assert a.state is RequestState.ACTIVE
+        assert b.state is RequestState.DROPPED
+        server = cluster.servers[0]
+        assert server.bandwidth == pytest.approx(1.2)
+        assert server.degraded
+        assert a.rate <= 1.2 + 1e-9
+
+    def test_shed_stream_relocates_away_from_degraded_server(self):
+        cluster, failover = cluster_with_failover({0: [0, 1]})
+        a, _ = cluster.submit(0)  # -> server 0
+        cluster.engine.run_until(1.0)
+        report = failover.degrade_server(0, 0.3)  # floor no longer fits
+        assert report.relocated == [a.request_id]
+        assert a.server_id == 1  # never placed back on the degraded node
+        assert a.state is RequestState.ACTIVE
+
+    def test_restore_link_returns_nominal_capacity(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        # Buffered client: rate may exceed view bandwidth, so the link
+        # scale is visible in the allocated rate.
+        a, _ = cluster.submit(0, client=make_client(buffer_capacity=1e9))
+        cluster.engine.run_until(1.0)
+        failover.degrade_server(0, 0.6)
+        assert a.rate == pytest.approx(1.2)  # squeezed into the degraded link
+        failover.restore_link(0)
+        server = cluster.servers[0]
+        assert not server.degraded
+        assert server.bandwidth == pytest.approx(2.0)
+        assert a.rate == pytest.approx(2.0)  # EFTF re-fills the link
+
+    def test_degrade_down_server_is_noop(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        cluster.submit(0)
+        failover.fail_server(0)
+        reports_before = len(failover.reports)
+        report = failover.degrade_server(0, 0.5)
+        assert report.relocated == [] and report.dropped == []
+        assert len(failover.reports) == reports_before
+        assert cluster.servers[0].nominal_bandwidth == pytest.approx(2.0)
+
+
+class TestReplicaLoss:
+    def test_lose_replica_relocates_and_forgets_holder(self):
+        cluster, failover = cluster_with_failover({0: [0, 1]})
+        a, _ = cluster.submit(0)  # -> server 0
+        cluster.engine.run_until(1.0)
+        report = failover.lose_replica(0, cluster.catalog[0])
+        assert report.relocated == [a.request_id]
+        assert a.server_id == 1
+        assert not cluster.servers[0].holds(0)
+        assert tuple(cluster.placement.holders(0)) == (1,)
+        # New admissions route to the surviving holder.
+        c, outcome = cluster.submit(0)
+        assert c.server_id == 1
+
+    def test_lose_replica_noop_when_not_held(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        report = failover.lose_replica(1, cluster.catalog[0])
+        assert report.relocated == [] and report.dropped == []
+        assert len(failover.reports) == 0
+
+    def test_on_drop_hook_sees_unrescuable_orphans(self):
+        cluster, failover = cluster_with_failover({0: [0]})
+        seen = []
+        failover.on_drop.append(seen.append)
+        a, _ = cluster.submit(0)
+        cluster.engine.run_until(1.0)
+        failover.lose_replica(0, cluster.catalog[0])
+        assert seen == [a]
+        assert a.state is RequestState.DROPPED

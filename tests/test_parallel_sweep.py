@@ -160,6 +160,83 @@ class TestProvenance:
         assert result.provenance["executor"] == "serial"
 
 
+class TestCellFailureHandling:
+    """A failed grid cell is retried once in-process; a second failure
+    names the exact (x, variant, trial) cell."""
+
+    def test_transient_failure_rescued_by_retry(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        real = base_mod._run_one
+        calls = {"failures": 0}
+
+        def flaky(config):
+            if calls["failures"] == 0:
+                calls["failures"] += 1
+                raise RuntimeError("spurious worker death")
+            return real(config)
+
+        monkeypatch.setattr(base_mod, "_run_one", flaky)
+        result = tiny_sweep(trials=1)  # completes despite the failure
+        assert calls["failures"] == 1
+        assert len(result.curves) == 2
+
+    def test_persistent_failure_names_the_cell(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+
+        def broken(config):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(base_mod, "_run_one", broken)
+        with pytest.raises(base_mod.SweepCellError) as exc:
+            tiny_sweep(trials=1)
+        message = str(exc.value)
+        # The first grid cell, pinned down exactly, plus the cause.
+        assert "theta=-0.5" in message
+        assert "variant='a'" in message
+        assert "trial=0" in message
+        assert "RuntimeError: boom" in message
+
+    def test_keyboard_interrupt_is_not_retried(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        calls = {"n": 0}
+
+        def interrupted(config):
+            calls["n"] += 1
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(base_mod, "_run_one", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            tiny_sweep(trials=1)
+        assert calls["n"] == 1
+
+
+class TestXApply:
+    def test_x_apply_replaces_flat_field_assignment(self, monkeypatch):
+        import dataclasses
+
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        seen = []
+
+        def apply(config, x):
+            seen.append(x)
+            return dataclasses.replace(config, theta=x / 10.0)
+
+        result = run_sweep(
+            SimulationConfig(system=TINY, theta=0.0, duration=hours(1),
+                             seed=1),
+            x_values=[1.0, 5.0],
+            variants=[Variant("v", {})],
+            scale=ExperimentScale(
+                duration=hours(0.5), warmup=0.0, trials=1, scale=0.0
+            ),
+            x_field="theta_x10",  # not a SimulationConfig field
+            x_apply=apply,
+        )
+        assert seen == [1.0, 5.0]
+        assert result.x_label == "theta_x10"
+        assert result.x_values == [1.0, 5.0]
+
+
 class TestEnvValidation:
     def test_malformed_repro_workers_names_the_var(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")
