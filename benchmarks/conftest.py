@@ -14,10 +14,8 @@ committed reference output.
 
 from __future__ import annotations
 
-import datetime
 import os
 import pathlib
-import sys
 
 import pytest
 

@@ -10,10 +10,19 @@ Subcommands regenerate each reproduced artifact::
     repro-vod replication | burst | vcr | mix       # extension studies
     repro-vod all --outdir results                  # everything + CSVs
     repro-vod run --system small --theta 0.3 --staging 0.2 --migrate
+    repro-vod run --scenario scenarios/p4_small.json
     repro-vod trace fig5 --trace-out fig5.jsonl     # structured trace
     repro-vod bench --quick                         # perf benchmark
     repro-vod chaos availability                    # availability vs MTBF
     repro-vod chaos soak --hours 8                  # invariant-checked run
+
+**Every experiment subcommand is generated from the experiment
+registry** (:mod:`repro.experiments.registry`): importing
+:mod:`repro.experiments` auto-discovers each experiment module, whose
+self-registration block publishes its CLI name, help text, flags,
+runner and ``repro all`` artifacts.  Adding an experiment is writing
+one module — there is no import list or dispatch table here to edit
+(docs/ARCHITECTURE.md).
 
 ``--scale`` (or REPRO_SCALE) trades fidelity for speed; 1.0 is the
 paper's 5 trials × 1000 h.
@@ -34,37 +43,22 @@ import sys
 from typing import List, Optional
 
 from repro import __version__, obs
-from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SystemConfig
+from repro import experiments as _experiments  # noqa: F401  (auto-discovery)
+from repro.cluster.system import SYSTEMS
 from repro.core.migration import MigrationPolicy
-from repro.experiments import ablation as ablation_mod
-from repro.experiments import availability as avail_mod
-from repro.experiments import client_mix as mix_mod
-from repro.experiments import dynamic_replication as dr_mod
-from repro.experiments import fig4_drm, fig5_staging, fig7_policies
-from repro.experiments import interactivity_vcr as vcr_mod
-from repro.experiments import intermittent_burst as burst_mod
-from repro.experiments import heterogeneity as het_mod
-from repro.experiments import partial_predictive as pp_mod
-from repro.experiments import svbr as svbr_mod
+from repro.core.schedulers import ALLOCATORS
+from repro.experiments.registry import (
+    CHAOS_EXPERIMENTS,
+    EXPERIMENTS,
+    ExperimentSpec,
+    trace_experiments,
+)
 from repro.obs import profiler as profiling
 from repro.obs.runtime import PROFILE_VAR, TRACE_OUT_VAR
+from repro.placement import PLACEMENTS
+from repro.scenario import load_scenario
 from repro.simulation import Simulation, SimulationConfig, run_simulation
 from repro.units import hours
-
-SYSTEMS = {"small": SMALL_SYSTEM, "large": LARGE_SYSTEM}
-
-#: Experiments the ``trace`` subcommand knows how to run standalone.
-TRACE_EXPERIMENTS = ("fig4", "fig5", "fig7")
-
-#: Modes of the ``chaos`` subcommand.
-CHAOS_EXPERIMENTS = ("availability", "soak")
-
-
-def _system(name: str) -> SystemConfig:
-    try:
-        return SYSTEMS[name]
-    except KeyError:
-        raise SystemExit(f"unknown system {name!r}; choose from {sorted(SYSTEMS)}")
 
 
 def _progress(quiet: bool):
@@ -94,6 +88,29 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     _add_obs(p)
 
 
+def _ordered(registry) -> List[ExperimentSpec]:
+    """Registry entries in display order (spec.order, then name)."""
+    return sorted(registry.values(), key=lambda s: (s.order, s.name))
+
+
+#: ``repro run`` config-shaping flags: dest → (flag spelling, default).
+#: One source of truth for the subparser defaults *and* the
+#: scenario-conflict check (a scenario file *is* the config, so these
+#: flags are mutually exclusive with ``--scenario``).
+_RUN_DEFAULTS = {
+    "system": ("--system", "small"),
+    "theta": ("--theta", 0.27),
+    "placement": ("--placement", "even"),
+    "staging": ("--staging", 0.0),
+    "migrate": ("--migrate", False),
+    "sim_hours": ("--hours", 20.0),
+    "warmup_hours": ("--warmup-hours", 2.0),
+    "load": ("--load", 1.0),
+    "scheduler": ("--scheduler", "eftf"),
+    "seed": ("--seed", 0),
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-vod",
@@ -105,53 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    for name, helptext in (
-        ("fig4", "effect of dynamic request migration (Figure 4)"),
-        ("fig5", "effect of client staging (Figure 5)"),
-        ("fig7", "policy comparison P1-P8 (Figure 7)"),
-    ):
-        p = sub.add_parser(name, help=helptext)
-        p.add_argument("--system", default="large", choices=sorted(SYSTEMS))
-        if name == "fig7":
-            p.add_argument(
-                "--policies", default=None,
-                help="comma-separated subset, e.g. P1,P4,P8",
-            )
-        _add_common(p)
-
-    sub.add_parser("fig6", help="print the policy matrix (Figure 6)")
-
-    p = sub.add_parser("svbr", help="utilization vs SVBR + Erlang-B (EXT-SVBR)")
-    _add_common(p)
-
-    p = sub.add_parser("partial", help="partial predictive placement (EXT-PP)")
-    _add_common(p)
-
-    p = sub.add_parser("het", help="resource heterogeneity (EXT-HET)")
-    _add_common(p)
-
-    p = sub.add_parser("ablation", help="spare-bandwidth scheduler ablation")
-    _add_common(p)
-
-    p = sub.add_parser(
-        "replication", help="dynamic replication vs static placement (EXT-DR)"
-    )
-    _add_common(p)
-
-    p = sub.add_parser(
-        "burst", help="intermittent scheduling under bursty demand (EXT-INT)"
-    )
-    _add_common(p)
-
-    p = sub.add_parser(
-        "vcr", help="viewer pause/resume interactivity (EXT-VCR)"
-    )
-    _add_common(p)
-
-    p = sub.add_parser(
-        "mix", help="heterogeneous client capabilities (EXT-MIX)"
-    )
-    _add_common(p)
+    # -- experiment subcommands, generated from the registry -----------
+    for spec in _ordered(EXPERIMENTS):
+        p = sub.add_parser(spec.name, help=spec.help)
+        if spec.add_arguments is not None:
+            spec.add_arguments(p)
+        if not spec.bare:
+            _add_common(p)
 
     p = sub.add_parser(
         "all",
@@ -177,49 +154,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress lines")
 
+    # -- chaos: modes and flags from the chaos registry ----------------
     p = sub.add_parser(
         "chaos",
-        help="deterministic fault injection (repro.faults): availability "
-             "sweep or an invariant-checked soak run",
+        help="deterministic fault injection (repro.faults): "
+             + "; ".join(
+                 f"{spec.name}: {spec.help}"
+                 for spec in _ordered(CHAOS_EXPERIMENTS)
+             ),
     )
     p.add_argument(
-        "experiment", choices=CHAOS_EXPERIMENTS,
-        help="availability: availability vs MTBF, EFTF+DRM vs no-DRM; "
-             "soak: one seeded chaos run with the online invariant "
-             "checker (exit 1 on any violation)",
+        "experiment", choices=CHAOS_EXPERIMENTS.names(),
+        help="; ".join(
+            f"{name}: {CHAOS_EXPERIMENTS.help_for(name)}"
+            for name in CHAOS_EXPERIMENTS.names()
+        ),
     )
-    p.add_argument("--system", default="small", choices=sorted(SYSTEMS))
-    p.add_argument(
-        "--mtbf-hours", type=float, default=1.0,
-        help="(soak) per-server mean time between crashes",
-    )
-    p.add_argument(
-        "--hours", type=float, default=8.0, dest="sim_hours",
-        help="(soak) simulated hours",
-    )
+    p.add_argument("--system", default="small", choices=SYSTEMS.names())
+    for spec in _ordered(CHAOS_EXPERIMENTS):
+        if spec.add_arguments is not None:
+            spec.add_arguments(p)
     _add_common(p)
 
-    p = sub.add_parser("run", help="one ad-hoc simulation")
-    p.add_argument("--system", default="small", choices=sorted(SYSTEMS))
-    p.add_argument("--theta", type=float, default=0.27)
-    p.add_argument("--placement", default="even")
-    p.add_argument("--staging", type=float, default=0.0,
+    p = sub.add_parser(
+        "run",
+        help="one ad-hoc simulation, from flags or a scenario file",
+    )
+    p.add_argument(
+        "--scenario", default=None, metavar="FILE",
+        help="run a declarative scenario JSON file (see scenarios/); "
+             "mutually exclusive with the config flags below",
+    )
+    _d = {dest: default for dest, (_, default) in _RUN_DEFAULTS.items()}
+    p.add_argument("--system", default=_d["system"], choices=SYSTEMS.names())
+    p.add_argument("--theta", type=float, default=_d["theta"])
+    p.add_argument("--placement", default=_d["placement"],
+                   choices=PLACEMENTS.names())
+    p.add_argument("--staging", type=float, default=_d["staging"],
                    help="staging buffer fraction of mean video size")
     p.add_argument("--migrate", action="store_true", help="enable DRM")
-    p.add_argument("--hours", type=float, default=20.0, dest="sim_hours")
-    p.add_argument("--warmup-hours", type=float, default=2.0)
-    p.add_argument("--load", type=float, default=1.0)
-    p.add_argument("--scheduler", default="eftf")
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--hours", type=float, default=_d["sim_hours"],
+                   dest="sim_hours")
+    p.add_argument("--warmup-hours", type=float, default=_d["warmup_hours"])
+    p.add_argument("--load", type=float, default=_d["load"])
+    p.add_argument("--scheduler", default=_d["scheduler"],
+                   choices=ALLOCATORS.names())
+    p.add_argument("--seed", type=int, default=_d["seed"])
     _add_obs(p)
 
     p = sub.add_parser(
         "trace",
         help="run one representative traced simulation; dump JSONL + summary",
     )
-    p.add_argument("experiment", choices=TRACE_EXPERIMENTS,
+    p.add_argument("experiment", choices=trace_experiments(),
                    help="which figure's setup to trace one run of")
-    p.add_argument("--system", default="small", choices=sorted(SYSTEMS))
+    p.add_argument("--system", default="small", choices=SYSTEMS.names())
     p.add_argument(
         "--trace-out", default="trace.jsonl", metavar="PATH",
         help="JSONL output path (default: trace.jsonl)",
@@ -237,51 +226,6 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _trace_config(
-    experiment: str, system: SystemConfig, seed: int, scale: Optional[float]
-) -> SimulationConfig:
-    """A representative single-run config for ``repro trace <experiment>``.
-
-    One mid-θ point of the figure's sweep, with the figure's mechanisms
-    switched on so the trace exercises every record family the setup
-    can produce (admission, rejection, migration, reallocation, ...).
-    """
-    from repro.experiments.base import resolve_scale
-
-    exp_scale = resolve_scale(scale)
-    common = dict(
-        system=system,
-        theta=0.0,
-        placement="even",
-        scheduler="eftf",
-        duration=exp_scale.duration,
-        warmup=exp_scale.warmup,
-        seed=seed,
-    )
-    if experiment == "fig4":
-        return SimulationConfig(
-            migration=MigrationPolicy.paper_default(),
-            staging_fraction=0.0,
-            **common,
-        )
-    if experiment == "fig5":
-        return SimulationConfig(
-            migration=MigrationPolicy.disabled(),
-            staging_fraction=0.2,
-            client_receive_bandwidth=30.0,
-            **common,
-        )
-    if experiment == "fig7":
-        # Policy P4: even placement + migration + 20 % staging.
-        return SimulationConfig(
-            migration=MigrationPolicy.paper_default(),
-            staging_fraction=0.2,
-            client_receive_bandwidth=30.0,
-            **common,
-        )
-    raise SystemExit(f"unknown trace experiment {experiment!r}")
-
-
 def _ensure_writable(path: str) -> None:
     """Fail fast (before simulating for minutes) on an unwritable path."""
     try:
@@ -294,9 +238,8 @@ def _ensure_writable(path: str) -> None:
 def _cmd_trace(args) -> int:
     """``repro trace <experiment>``: one traced run, JSONL + summary."""
     _ensure_writable(args.trace_out)
-    config = _trace_config(
-        args.experiment, _system(args.system), args.seed, args.scale
-    )
+    spec = EXPERIMENTS.get(args.experiment)
+    config = spec.trace_config(SYSTEMS.get(args.system), args.seed, args.scale)
     tracer = obs.Tracer()
     profiler = obs.EventProfiler() if args.profile else None
     sim = Simulation(config, tracer=tracer, profiler=profiler)
@@ -339,42 +282,21 @@ def _obs_env(trace_out: Optional[str], profile: bool):
 
 
 def _run_all(args) -> int:
-    """Regenerate every artifact; write tables + CSVs to ``--outdir``."""
+    """Regenerate every registered artifact; write tables + CSVs to
+    ``--outdir``.
+
+    The report's content and ordering come from the experiment
+    registry: each spec with an ``artifacts`` hook contributes its
+    blocks at its ``order`` position.
+    """
     import pathlib
 
     from repro.analysis.export import sweep_to_csv
-    from repro.experiments.base import SweepResult
 
     outdir = pathlib.Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     progress = _progress(args.quiet)
     scale, seed = args.scale, args.seed
-
-    def sweep_panels(runner, systems, stem, title):
-        for system in systems:
-            result = runner(system=system, scale=scale, seed=seed,
-                            progress=progress)
-            yield f"{stem}_{system.name}", result, f"{title} ({system.name})"
-
-    jobs = []
-    jobs.extend(sweep_panels(
-        fig4_drm.run_fig4, (LARGE_SYSTEM, SMALL_SYSTEM), "fig4", "Figure 4"))
-    jobs.extend(sweep_panels(
-        fig5_staging.run_fig5, (LARGE_SYSTEM, SMALL_SYSTEM), "fig5",
-        "Figure 5"))
-    jobs.extend(sweep_panels(
-        fig7_policies.run_fig7, (LARGE_SYSTEM, SMALL_SYSTEM), "fig7",
-        "Figure 7"))
-    jobs.append(("ext_pp", pp_mod.run_partial_predictive(
-        scale=scale, seed=seed, progress=progress), "EXT-PP"))
-    jobs.append(("ext_abl", ablation_mod.run_ablation(
-        scale=scale, seed=seed, progress=progress), "EXT-ABL"))
-    jobs.append(("ext_dr", dr_mod.run_dynamic_replication(
-        scale=scale, seed=seed, progress=progress), "EXT-DR"))
-    jobs.append(("ext_vcr", vcr_mod.run_interactivity(
-        scale=scale, seed=seed, progress=progress), "EXT-VCR"))
-    jobs.append(("ext_mix", mix_mod.run_client_mix_series(
-        scale=scale, seed=seed, progress=progress), "EXT-MIX"))
 
     report_path = outdir / "all_artifacts.txt"
     prov = obs.run_provenance(seed=seed, scale=scale)
@@ -384,26 +306,17 @@ def _run_all(args) -> int:
             f"scale={scale if scale is not None else 'default'} | "
             f"{prov['timestamp_utc']}\n\n"
         )
-        fh.write(fig7_policies.policy_matrix_table() + "\n\n")
-        for stem, result, title in jobs:
-            text = result.render(title=title)
-            fh.write(text + "\n\n")
-            if isinstance(result, SweepResult):
-                sweep_to_csv(result, outdir / f"{stem}.csv")
-            if progress is not None:
-                print()
-                print(text)
-                print()
-        # Table-shaped artifacts without SweepResult structure:
-        svbr_result = svbr_mod.run_svbr(
-            scale=scale, seed=seed, progress=progress)
-        fh.write(svbr_mod.render_svbr(svbr_result) + "\n\n")
-        het_result = het_mod.run_heterogeneity(
-            scale=scale, seed=seed, progress=progress)
-        fh.write(het_mod.render_heterogeneity(het_result) + "\n\n")
-        burst_result = burst_mod.run_intermittent_burst(
-            scale=scale, seed=seed, progress=progress)
-        fh.write(burst_mod.render_intermittent_burst(burst_result) + "\n")
+        for spec in _ordered(EXPERIMENTS):
+            if spec.artifacts is None:
+                continue
+            for artifact in spec.artifacts(scale, seed, progress):
+                fh.write(artifact.text + "\n\n")
+                if artifact.sweep is not None:
+                    sweep_to_csv(artifact.sweep, outdir / f"{artifact.stem}.csv")
+                if progress is not None and artifact.sweep is not None:
+                    print()
+                    print(artifact.text)
+                    print()
     print(f"wrote {report_path} (+ per-figure CSVs) in {outdir}/")
     return 0
 
@@ -445,77 +358,16 @@ def _cmd_bench(args) -> int:
     return 0 if report["sweep"]["identical"] else 1
 
 
-def _cmd_chaos(args, progress) -> int:
-    """``repro chaos <experiment>``: fault-injection entry points.
+def _run_config(args) -> SimulationConfig:
+    """The ``repro run`` config: a scenario file or the config flags.
 
-    ``availability`` sweeps availability vs per-server MTBF (EFTF+DRM
-    vs no-DRM); ``soak`` runs one seeded chaos scenario — all three
-    fault classes plus the retry queue — with the online invariant
-    checker attached, exiting 1 on any violation (the CI chaos-soak
-    job's gate).
+    A scenario file *is* the full configuration, so combining it with a
+    config-shaping flag would silently ignore one of the two — reject
+    the combination instead, naming the offending flag.
     """
-    if args.experiment == "availability":
-        result = avail_mod.run_availability(
-            system=_system(args.system), scale=args.scale,
-            seed=args.seed, progress=progress,
-        )
-        print(result.render(
-            title=f"Availability vs MTBF ({args.system} system)"
-        ))
-        return 0
-
-    from repro.cluster.request import reset_request_ids
-    from repro.faults import (
-        CrashFaults, FaultPlan, InvariantViolation, LinkFaults,
-        ReplicaFaults, RetryPolicy,
-    )
-
-    mtbf = hours(args.mtbf_hours)
-    config = SimulationConfig(
-        system=_system(args.system),
-        theta=0.3,
-        placement="even",
-        migration=MigrationPolicy.paper_default(),
-        staging_fraction=0.2,
-        duration=hours(args.sim_hours),
-        seed=args.seed,
-        faults=FaultPlan(
-            crash=CrashFaults(mtbf=mtbf, mttr=mtbf / 4.0, correlation=0.1),
-            link=LinkFaults(mtbf=mtbf * 1.5, mttr=mtbf / 2.0),
-            replica=ReplicaFaults(mean_interval=mtbf * 2.0),
-        ),
-        retry=RetryPolicy(),
-        invariants=True,
-    )
-    reset_request_ids()
-    sim = Simulation(config)
-    try:
-        result = sim.run()
-    except InvariantViolation as violation:
-        print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
-        return 1
-    checks = sim.invariant_checker.checks_run
-    print(result)
-    print(
-        f"  faults={result.faults_injected} dropped={result.dropped} "
-        f"retries={result.retries} exhausted={result.retry_exhausted} "
-        f"availability={result.availability:.4f}"
-    )
-    print(f"  invariants clean ({checks} state sweeps)")
-    return 0
-
-
-def _dispatch(args) -> int:
-    if args.command == "fig6":
-        print(fig7_policies.policy_matrix_table())
-        return 0
-
-    if args.command == "bench":
-        return _cmd_bench(args)
-
-    if args.command == "run":
-        config = SimulationConfig(
-            system=_system(args.system),
+    if args.scenario is None:
+        return SimulationConfig(
+            system=SYSTEMS.get(args.system),
             theta=args.theta,
             placement=args.placement,
             migration=(
@@ -530,6 +382,33 @@ def _dispatch(args) -> int:
             load=args.load,
             seed=args.seed,
         )
+    overridden = [
+        flag for dest, (flag, default) in _RUN_DEFAULTS.items()
+        if getattr(args, dest) != default
+    ]
+    if overridden:
+        raise SystemExit(
+            f"--scenario provides the full configuration; "
+            f"drop the conflicting flag(s): {', '.join(overridden)}"
+        )
+    try:
+        scenario = load_scenario(args.scenario)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"scenario {scenario.name!r}"
+        + (f": {scenario.description}" if scenario.description else ""),
+        file=sys.stderr,
+    )
+    return scenario.config
+
+
+def _dispatch(args) -> int:
+    if args.command == "bench":
+        return _cmd_bench(args)
+
+    if args.command == "run":
+        config = _run_config(args)
         result = run_simulation(config)
         print(result)
         print(
@@ -539,79 +418,12 @@ def _dispatch(args) -> int:
         )
         return 0
 
-    progress = _progress(args.quiet)
-    if args.command == "chaos":
-        return _cmd_chaos(args, progress)
+    progress = _progress(getattr(args, "quiet", False))
     if args.command == "all":
         return _run_all(args)
-    if args.command == "fig4":
-        result = fig4_drm.run_fig4(
-            system=_system(args.system), scale=args.scale,
-            seed=args.seed, progress=progress,
-        )
-        print(result.render(title=f"Figure 4 ({args.system} system)"))
-    elif args.command == "fig5":
-        result = fig5_staging.run_fig5(
-            system=_system(args.system), scale=args.scale,
-            seed=args.seed, progress=progress,
-        )
-        print(result.render(title=f"Figure 5 ({args.system} system)"))
-    elif args.command == "fig7":
-        policies = args.policies.split(",") if args.policies else None
-        result = fig7_policies.run_fig7(
-            system=_system(args.system), policies=policies,
-            scale=args.scale, seed=args.seed, progress=progress,
-        )
-        print(fig7_policies.policy_matrix_table())
-        print()
-        print(result.render(title=f"Figure 7 ({args.system} system)"))
-    elif args.command == "svbr":
-        result = svbr_mod.run_svbr(
-            scale=args.scale, seed=args.seed, progress=progress
-        )
-        print(svbr_mod.render_svbr(result))
-    elif args.command == "partial":
-        result = pp_mod.run_partial_predictive(
-            scale=args.scale, seed=args.seed, progress=progress
-        )
-        print(result.render(title="EXT-PP: placement sophistication"))
-    elif args.command == "het":
-        result = het_mod.run_heterogeneity(
-            scale=args.scale, seed=args.seed, progress=progress
-        )
-        print(het_mod.render_heterogeneity(result))
-    elif args.command == "ablation":
-        result = ablation_mod.run_ablation(
-            scale=args.scale, seed=args.seed, progress=progress
-        )
-        print(result.render(title="EXT-ABL: scheduler ablation"))
-    elif args.command == "replication":
-        result = dr_mod.run_dynamic_replication(
-            scale=args.scale, seed=args.seed, progress=progress
-        )
-        print(result.render(
-            title="EXT-DR: dynamic replication vs static placement"
-        ))
-    elif args.command == "burst":
-        result = burst_mod.run_intermittent_burst(
-            scale=args.scale, seed=args.seed, progress=progress
-        )
-        print(burst_mod.render_intermittent_burst(result))
-    elif args.command == "vcr":
-        result = vcr_mod.run_interactivity(
-            scale=args.scale, seed=args.seed, progress=progress
-        )
-        print(result.render(title="EXT-VCR: viewer pause/resume interactivity"))
-    elif args.command == "mix":
-        result = mix_mod.run_client_mix_series(
-            scale=args.scale, seed=args.seed, progress=progress
-        )
-        print(result.render(
-            title="EXT-MIX: partial deployment of client staging"
-        ))
-    else:  # pragma: no cover - argparse enforces choices
-        raise SystemExit(f"unknown command {args.command!r}")
-    return 0
+    if args.command == "chaos":
+        return CHAOS_EXPERIMENTS.get(args.experiment).run_cli(args, progress)
+    return EXPERIMENTS.get(args.command).run_cli(args, progress)
 
 
 if __name__ == "__main__":  # pragma: no cover

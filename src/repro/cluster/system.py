@@ -30,6 +30,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.cluster.server import DataServer
+from repro.registry import Registry
 from repro.units import (
     DEFAULT_CLIENT_RECEIVE_BANDWIDTH,
     DEFAULT_VIEW_BANDWIDTH,
@@ -118,6 +119,34 @@ class SystemConfig:
             name=name or self.name,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; round-trips via :meth:`from_dict`."""
+        from repro.serialize import shallow_dict
+
+        return shallow_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Build from a dict, or resolve a ``{"preset": name}`` shorthand.
+
+        Scenario files may name a registered preset instead of spelling
+        out every server (``{"preset": "small"}``); any further keys
+        then override the preset's fields.  Unknown keys raise an
+        actionable error.
+        """
+        from repro.serialize import check_fields
+
+        check_fields(cls, data, extra=("preset",))
+        data = dict(data)
+        preset_name = data.pop("preset", None)
+        for key in ("server_bandwidths", "disk_capacities", "video_length_range"):
+            if isinstance(data.get(key), list):
+                data[key] = tuple(data[key])
+        if preset_name is not None:
+            preset = SYSTEMS.get(preset_name)
+            return replace(preset, **data) if data else preset
+        return cls(**data)
+
 
 def homogeneous(
     name: str,
@@ -159,6 +188,20 @@ LARGE_SYSTEM: SystemConfig = homogeneous(
     disk_capacity_gb=50.0,
     n_videos=200,
     video_length_range=(minutes(60), minutes(120)),
+)
+
+#: Named system presets (scenario files and the CLI's ``--system`` flag
+#: resolve through this); unknown names raise an actionable error.
+SYSTEMS: Registry[SystemConfig] = Registry("system")
+SYSTEMS.register(
+    "small", SMALL_SYSTEM,
+    help="Figure 3 'Small': 5 servers x 100 Mb/s, 10-30 min clips "
+         "(SVBR 33)",
+)
+SYSTEMS.register(
+    "large", LARGE_SYSTEM,
+    help="Figure 3 'Large': 20 servers x 300 Mb/s, 1-2 h movies "
+         "(SVBR 100)",
 )
 
 

@@ -81,6 +81,20 @@ class MigrationPolicy:
         """Chain length 1 but streams may be moved any number of times."""
         return cls(enabled=True, max_chain_length=1, max_hops_per_request=None)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; round-trips via :meth:`from_dict`."""
+        from repro.serialize import shallow_dict
+
+        return shallow_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MigrationPolicy":
+        """Build from a (possibly partial) dict; unknown keys raise."""
+        from repro.serialize import check_fields
+
+        check_fields(cls, data)
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class MigrationStep:

@@ -20,9 +20,9 @@ one — while for θ < 0 the predictive policies win.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.core.migration import MigrationPolicy
+from repro.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -58,23 +58,24 @@ class Policy:
         )
 
 
-def _p(name: str, placement: str, migration: bool, staging: float) -> Policy:
-    return Policy(
-        name=name,
-        placement=placement,
-        migration=migration,
-        staging_fraction=staging,
+#: Figure 6 verbatim, in matrix order (iteration preserves it); unknown
+#: policy names raise an actionable error listing P1–P8.
+PAPER_POLICIES: Registry[Policy] = Registry("policy")
+for _name, _placement, _migration, _staging in (
+    ("P1", "even", False, 0.0),
+    ("P2", "even", False, 0.2),
+    ("P3", "even", True, 0.0),
+    ("P4", "even", True, 0.2),
+    ("P5", "predictive", False, 0.0),
+    ("P6", "predictive", False, 0.2),
+    ("P7", "predictive", True, 0.0),
+    ("P8", "predictive", True, 0.2),
+):
+    _policy = Policy(
+        name=_name,
+        placement=_placement,
+        migration=_migration,
+        staging_fraction=_staging,
     )
-
-
-#: Figure 6 verbatim, in order.
-PAPER_POLICIES: Dict[str, Policy] = {
-    "P1": _p("P1", "even", False, 0.0),
-    "P2": _p("P2", "even", False, 0.2),
-    "P3": _p("P3", "even", True, 0.0),
-    "P4": _p("P4", "even", True, 0.2),
-    "P5": _p("P5", "predictive", False, 0.0),
-    "P6": _p("P6", "predictive", False, 0.2),
-    "P7": _p("P7", "predictive", True, 0.0),
-    "P8": _p("P8", "predictive", True, 0.2),
-}
+    PAPER_POLICIES.register(_name, _policy, help=_policy.describe())
+del _name, _placement, _migration, _staging, _policy

@@ -73,6 +73,20 @@ class ReplicationPolicy:
                 f"got {self.max_concurrent_copies}"
             )
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; round-trips via :meth:`from_dict`."""
+        from repro.serialize import shallow_dict
+
+        return shallow_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplicationPolicy":
+        """Build from a (possibly partial) dict; unknown keys raise."""
+        from repro.serialize import check_fields
+
+        check_fields(cls, data)
+        return cls(**data)
+
 
 class DynamicReplicator:
     """Rejection-driven replica management.

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.request import EPS_MB, Request
 from repro.cluster.server import DataServer
+from repro.registry import Registry
 
 #: Rate tolerance (Mb/s) below which spare bandwidth is considered spent.
 EPS_RATE: float = 1e-9
@@ -245,17 +246,35 @@ class NoWorkaheadAllocator(BandwidthAllocator):
         return  # leave the spare idle
 
 
-#: Registry used by the simulation config layer.
-ALLOCATORS = {
-    "eftf": EFTFAllocator,
-    "lftf": LFTFAllocator,
-    "proportional": ProportionalShareAllocator,
-    "none": NoWorkaheadAllocator,
-}
+#: Scheduler registry used by the simulation config layer; unknown keys
+#: raise an actionable :class:`repro.registry.UnknownKeyError`.
+ALLOCATORS: Registry[type] = Registry("scheduler")
+ALLOCATORS.register(
+    "eftf", EFTFAllocator,
+    help="Earliest Finishing Time First (the paper's Figure 2; optimal "
+         "minimum-flow allocator under Theorem 1)",
+)
+ALLOCATORS.register(
+    "lftf", LFTFAllocator,
+    help="Latest Finishing Time First — adversarial EFTF mirror (ablation)",
+)
+ALLOCATORS.register(
+    "proportional", ProportionalShareAllocator,
+    help="split spare bandwidth evenly among eligible streams "
+         "(water-filling)",
+)
+ALLOCATORS.register(
+    "none", NoWorkaheadAllocator,
+    help="pure continuous transmission: spare bandwidth stays idle",
+)
 
 # The intermittent allocator subclasses BandwidthAllocator, so it is
 # imported at the end of this module to close the cycle and register
 # itself alongside the minimum-flow family.
 from repro.core.intermittent import IntermittentAllocator  # noqa: E402
 
-ALLOCATORS["intermittent"] = IntermittentAllocator
+ALLOCATORS.register(
+    "intermittent", IntermittentAllocator,
+    help="intermittent (non-minimum-flow) scheduling; pairs with "
+         "overbooked admission",
+)

@@ -6,6 +6,16 @@ accepts a ``scale`` argument that shrinks simulated duration and trial
 count relative to the paper's full fidelity (5 trials × 1000 simulated
 hours per point — see DESIGN.md §5).  ``scale=1.0`` is full fidelity.
 
+**Registration is automatic.**  Importing this package imports every
+sibling module (the ``pkgutil`` walk below), and each module's
+self-registration block publishes an
+:class:`~repro.experiments.registry.ExperimentSpec` into
+:data:`~repro.experiments.registry.EXPERIMENTS` (or
+:data:`~repro.experiments.registry.CHAOS_EXPERIMENTS`).  The CLI builds
+its subcommands from those registries, so adding an experiment is
+writing one module here — no import list or dispatch table to edit
+anywhere (docs/ARCHITECTURE.md walks through it).
+
 Experiment index (DESIGN.md §3):
 
 * :mod:`repro.experiments.fig4_drm` — effect of dynamic request
@@ -34,7 +44,12 @@ Experiment index (DESIGN.md §3):
 * :mod:`repro.experiments.availability` — EXT-CHAOS: availability vs
   MTBF under deterministic fault injection, EFTF+DRM vs no-DRM
   (docs/ROBUSTNESS.md; ``repro-vod chaos availability``).
+* :mod:`repro.experiments.soak` — EXT-SOAK: one invariant-checked
+  chaos run (``repro-vod chaos soak``; the CI chaos gate).
 """
+
+import importlib
+import pkgutil
 
 from repro.experiments.base import (
     ExperimentScale,
@@ -55,3 +70,10 @@ __all__ = [
     "run_trials",
     "trial_seeds",
 ]
+
+# Auto-discovery: import every experiment module so its registration
+# block runs.  Deterministic (pkgutil yields sorted names) and cheap —
+# modules only define functions and register specs at import time.
+for _module_info in pkgutil.iter_modules(__path__):
+    importlib.import_module(f"{__name__}.{_module_info.name}")
+del _module_info

@@ -29,6 +29,7 @@ from repro.experiments.base import (
     resolve_scale,
     run_sweep,
 )
+from repro.experiments.registry import Artifact, ExperimentSpec, register
 from repro.simulation import SimulationConfig
 
 SCHEDULERS: Sequence[str] = ("eftf", "proportional", "lftf", "none")
@@ -65,6 +66,35 @@ def run_ablation(
         base_seed=seed,
         progress=progress,
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_run(args, progress) -> int:
+    result = run_ablation(
+        scale=args.scale, seed=args.seed, progress=progress,
+    )
+    print(result.render(title="EXT-ABL: scheduler ablation"))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    result = run_ablation(scale=scale, seed=seed, progress=progress)
+    yield Artifact(
+        stem="ext_abl", title="EXT-ABL",
+        text=result.render(title="EXT-ABL"), sweep=result,
+    )
+
+
+register(ExperimentSpec(
+    name="ablation",
+    help="spare-bandwidth scheduler ablation",
+    run_cli=_cli_run,
+    artifacts=_cli_artifacts,
+    order=50,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

@@ -24,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Optional
 
-from repro.cluster.system import SMALL_SYSTEM, SystemConfig
+from repro.cluster.system import SMALL_SYSTEM, SYSTEMS, SystemConfig
 from repro.core.migration import MigrationPolicy
 from repro.experiments.base import (
     ExperimentScale,
@@ -34,6 +34,7 @@ from repro.experiments.base import (
     run_sweep,
 )
 from repro.faults import CrashFaults, FaultPlan, RetryPolicy
+from repro.experiments.registry import ExperimentSpec, register
 from repro.simulation import SimulationConfig
 from repro.units import hours
 
@@ -97,6 +98,28 @@ def run_availability(
         progress=progress,
         x_apply=_apply_mtbf,
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_run(args, progress) -> int:
+    result = run_availability(
+        system=SYSTEMS[args.system], scale=args.scale,
+        seed=args.seed, progress=progress,
+    )
+    print(result.render(
+        title=f"Availability vs MTBF ({args.system} system)"
+    ))
+    return 0
+
+
+register(ExperimentSpec(
+    name="availability",
+    help="availability vs MTBF, EFTF+DRM vs no-DRM",
+    run_cli=_cli_run,
+), chaos=True)
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

@@ -18,6 +18,7 @@ from typing import Callable, Optional, Sequence
 from repro.cluster.system import SMALL_SYSTEM, SystemConfig
 from repro.core.migration import MigrationPolicy
 from repro.experiments.base import ExperimentScale, SweepResult, resolve_scale
+from repro.experiments.registry import Artifact, ExperimentSpec, register
 from repro.simulation import SimulationConfig
 
 #: Fraction of clients WITHOUT a staging buffer.
@@ -79,6 +80,39 @@ def run_client_mix_series(
         metric="utilization",
         scale=exp_scale,
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_run(args, progress) -> int:
+    result = run_client_mix_series(
+        scale=args.scale, seed=args.seed, progress=progress,
+    )
+    print(result.render(
+        title="EXT-MIX: partial deployment of client staging"
+    ))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    result = run_client_mix_series(
+        scale=scale, seed=seed, progress=progress,
+    )
+    yield Artifact(
+        stem="ext_mix", title="EXT-MIX",
+        text=result.render(title="EXT-MIX"), sweep=result,
+    )
+
+
+register(ExperimentSpec(
+    name="mix",
+    help="heterogeneous client capabilities (EXT-MIX)",
+    run_cli=_cli_run,
+    artifacts=_cli_artifacts,
+    order=80,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

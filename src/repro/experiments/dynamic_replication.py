@@ -29,6 +29,7 @@ from repro.experiments.base import (
     resolve_scale,
     run_sweep,
 )
+from repro.experiments.registry import Artifact, ExperimentSpec, register
 from repro.simulation import SimulationConfig
 
 #: θ grid focused on the regime where static even placement fails.
@@ -72,6 +73,39 @@ def run_dynamic_replication(
         base_seed=seed,
         progress=progress,
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_run(args, progress) -> int:
+    result = run_dynamic_replication(
+        scale=args.scale, seed=args.seed, progress=progress,
+    )
+    print(result.render(
+        title="EXT-DR: dynamic replication vs static placement"
+    ))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    result = run_dynamic_replication(
+        scale=scale, seed=seed, progress=progress,
+    )
+    yield Artifact(
+        stem="ext_dr", title="EXT-DR",
+        text=result.render(title="EXT-DR"), sweep=result,
+    )
+
+
+register(ExperimentSpec(
+    name="replication",
+    help="dynamic replication vs static placement (EXT-DR)",
+    run_cli=_cli_run,
+    artifacts=_cli_artifacts,
+    order=60,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

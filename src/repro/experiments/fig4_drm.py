@@ -20,7 +20,12 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SystemConfig
+from repro.cluster.system import (
+    LARGE_SYSTEM,
+    SMALL_SYSTEM,
+    SYSTEMS,
+    SystemConfig,
+)
 from repro.core.migration import MigrationPolicy
 from repro.experiments.base import (
     ExperimentScale,
@@ -29,6 +34,12 @@ from repro.experiments.base import (
     Variant,
     resolve_scale,
     run_sweep,
+)
+from repro.experiments.registry import (
+    Artifact,
+    ExperimentSpec,
+    add_system_argument,
+    register,
 )
 from repro.simulation import SimulationConfig
 
@@ -86,6 +97,62 @@ def run_fig4(
         base_seed=seed,
         progress=progress,
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_trace_config(
+    system: SystemConfig, seed: int, scale: Optional[float]
+) -> SimulationConfig:
+    """One representative traced run: mid-theta, DRM on, no staging."""
+    exp_scale = resolve_scale(scale)
+    return SimulationConfig(
+        system=system,
+        theta=0.0,
+        placement="even",
+        scheduler="eftf",
+        migration=MigrationPolicy.paper_default(),
+        staging_fraction=0.0,
+        duration=exp_scale.duration,
+        warmup=exp_scale.warmup,
+        seed=seed,
+    )
+
+
+def _cli_run(args, progress) -> int:
+    result = run_fig4(
+        system=SYSTEMS[args.system], scale=args.scale,
+        seed=args.seed, progress=progress,
+    )
+    print(result.render(title=f"Figure 4 ({args.system} system)"))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    for system in (LARGE_SYSTEM, SMALL_SYSTEM):
+        title = f"Figure 4 ({system.name})"
+        result = run_fig4(
+            system=system, scale=scale, seed=seed, progress=progress,
+        )
+        yield Artifact(
+            stem=f"fig4_{system.name}",
+            title=title,
+            text=result.render(title=title),
+            sweep=result,
+        )
+
+
+register(ExperimentSpec(
+    name="fig4",
+    help="effect of dynamic request migration (Figure 4)",
+    run_cli=_cli_run,
+    add_arguments=add_system_argument,
+    trace_config=_cli_trace_config,
+    artifacts=_cli_artifacts,
+    order=10,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

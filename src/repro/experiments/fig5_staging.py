@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SystemConfig
+from repro.cluster.system import (
+    LARGE_SYSTEM,
+    SMALL_SYSTEM,
+    SYSTEMS,
+    SystemConfig,
+)
 from repro.core.migration import MigrationPolicy
 from repro.experiments.base import (
     ExperimentScale,
@@ -23,6 +28,12 @@ from repro.experiments.base import (
     Variant,
     resolve_scale,
     run_sweep,
+)
+from repro.experiments.registry import (
+    Artifact,
+    ExperimentSpec,
+    add_system_argument,
+    register,
 )
 from repro.simulation import SimulationConfig
 
@@ -66,6 +77,63 @@ def run_fig5(
         base_seed=seed,
         progress=progress,
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_trace_config(
+    system: SystemConfig, seed: int, scale: Optional[float]
+) -> SimulationConfig:
+    """One representative traced run: 20 % staging, no DRM."""
+    exp_scale = resolve_scale(scale)
+    return SimulationConfig(
+        system=system,
+        theta=0.0,
+        placement="even",
+        scheduler="eftf",
+        migration=MigrationPolicy.disabled(),
+        staging_fraction=0.2,
+        client_receive_bandwidth=30.0,
+        duration=exp_scale.duration,
+        warmup=exp_scale.warmup,
+        seed=seed,
+    )
+
+
+def _cli_run(args, progress) -> int:
+    result = run_fig5(
+        system=SYSTEMS[args.system], scale=args.scale,
+        seed=args.seed, progress=progress,
+    )
+    print(result.render(title=f"Figure 5 ({args.system} system)"))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    for system in (LARGE_SYSTEM, SMALL_SYSTEM):
+        title = f"Figure 5 ({system.name})"
+        result = run_fig5(
+            system=system, scale=scale, seed=seed, progress=progress,
+        )
+        yield Artifact(
+            stem=f"fig5_{system.name}",
+            title=title,
+            text=result.render(title=title),
+            sweep=result,
+        )
+
+
+register(ExperimentSpec(
+    name="fig5",
+    help="effect of client staging (Figure 5)",
+    run_cli=_cli_run,
+    add_arguments=add_system_argument,
+    trace_config=_cli_trace_config,
+    artifacts=_cli_artifacts,
+    order=20,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

@@ -15,7 +15,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.report import render_table
-from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SystemConfig
+from repro.cluster.system import (
+    LARGE_SYSTEM,
+    SMALL_SYSTEM,
+    SYSTEMS,
+    SystemConfig,
+)
 from repro.core.policies import PAPER_POLICIES, Policy
 from repro.experiments.base import (
     ExperimentScale,
@@ -25,6 +30,13 @@ from repro.experiments.base import (
     resolve_scale,
     run_sweep,
 )
+from repro.experiments.registry import (
+    Artifact,
+    ExperimentSpec,
+    add_system_argument,
+    register,
+)
+from repro.registry import RegistryError
 from repro.simulation import SimulationConfig
 
 
@@ -87,6 +99,101 @@ def run_fig7(
         base_seed=seed,
         progress=progress,
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_trace_config(
+    system: SystemConfig, seed: int, scale: Optional[float]
+) -> SimulationConfig:
+    """One representative traced run: policy P4 (even + DRM + 20 %
+    staging)."""
+    exp_scale = resolve_scale(scale)
+    return SimulationConfig(
+        system=system,
+        theta=0.0,
+        placement="even",
+        scheduler="eftf",
+        migration=MigrationPolicy.paper_default(),
+        staging_fraction=0.2,
+        client_receive_bandwidth=30.0,
+        duration=exp_scale.duration,
+        warmup=exp_scale.warmup,
+        seed=seed,
+    )
+
+
+def _cli_arguments(parser) -> None:
+    add_system_argument(parser)
+    parser.add_argument(
+        "--policies", default=None,
+        help="comma-separated subset, e.g. P1,P4,P8",
+    )
+
+
+def _cli_run(args, progress) -> int:
+    policies = args.policies.split(",") if args.policies else None
+    try:
+        result = run_fig7(
+            system=SYSTEMS[args.system], policies=policies,
+            scale=args.scale, seed=args.seed, progress=progress,
+        )
+    except RegistryError as exc:
+        raise SystemExit(str(exc))
+    print(policy_matrix_table())
+    print()
+    print(result.render(title=f"Figure 7 ({args.system} system)"))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    for system in (LARGE_SYSTEM, SMALL_SYSTEM):
+        title = f"Figure 7 ({system.name})"
+        result = run_fig7(
+            system=system, scale=scale, seed=seed, progress=progress,
+        )
+        yield Artifact(
+            stem=f"fig7_{system.name}",
+            title=title,
+            text=result.render(title=title),
+            sweep=result,
+        )
+
+
+register(ExperimentSpec(
+    name="fig7",
+    help="policy comparison P1-P8 (Figure 7)",
+    run_cli=_cli_run,
+    add_arguments=_cli_arguments,
+    trace_config=_cli_trace_config,
+    artifacts=_cli_artifacts,
+    order=30,
+))
+
+
+def _cli_run_matrix(args, progress) -> int:
+    print(policy_matrix_table())
+    return 0
+
+
+def _cli_matrix_artifacts(scale, seed, progress):
+    yield Artifact(
+        stem="fig6_matrix",
+        title="Figure 6",
+        text=policy_matrix_table(),
+    )
+
+
+register(ExperimentSpec(
+    name="fig6",
+    help="print the policy matrix (Figure 6)",
+    run_cli=_cli_run_matrix,
+    artifacts=_cli_matrix_artifacts,
+    order=5,
+    bare=True,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

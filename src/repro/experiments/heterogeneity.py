@@ -29,6 +29,7 @@ from repro.cluster.system import (
 )
 from repro.core.migration import MigrationPolicy
 from repro.experiments.base import ExperimentScale, resolve_scale, run_trials
+from repro.experiments.registry import Artifact, ExperimentSpec, register
 from repro.simulation import SimulationConfig
 
 #: The paper's three cluster classes.
@@ -104,6 +105,35 @@ def render_heterogeneity(result: Dict[str, object]) -> str:
             f"[{scale.describe()}]"
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_run(args, progress) -> int:
+    result = run_heterogeneity(
+        scale=args.scale, seed=args.seed, progress=progress,
+    )
+    print(render_heterogeneity(result))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    result = run_heterogeneity(scale=scale, seed=seed, progress=progress)
+    yield Artifact(
+        stem="ext_het", title="EXT-HET",
+        text=render_heterogeneity(result),
+    )
+
+
+register(ExperimentSpec(
+    name="het",
+    help="resource heterogeneity (EXT-HET)",
+    run_cli=_cli_run,
+    artifacts=_cli_artifacts,
+    order=100,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

@@ -30,6 +30,7 @@ from repro.experiments.base import (
     resolve_scale,
     run_sweep,
 )
+from repro.experiments.registry import Artifact, ExperimentSpec, register
 from repro.simulation import SimulationConfig
 
 #: Pause intensities: expected pauses per hour of viewing.
@@ -80,6 +81,37 @@ def run_interactivity(
     result.x_values = [h * 3600.0 for h in result.x_values]
     result.x_label = "pauses_per_hour"
     return result
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_run(args, progress) -> int:
+    result = run_interactivity(
+        scale=args.scale, seed=args.seed, progress=progress,
+    )
+    print(result.render(
+        title="EXT-VCR: viewer pause/resume interactivity"
+    ))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    result = run_interactivity(scale=scale, seed=seed, progress=progress)
+    yield Artifact(
+        stem="ext_vcr", title="EXT-VCR",
+        text=result.render(title="EXT-VCR"), sweep=result,
+    )
+
+
+register(ExperimentSpec(
+    name="vcr",
+    help="viewer pause/resume interactivity (EXT-VCR)",
+    run_cli=_cli_run,
+    artifacts=_cli_artifacts,
+    order=70,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

@@ -28,6 +28,7 @@ from repro.analysis.report import render_table
 from repro.cluster.system import SMALL_SYSTEM, SystemConfig
 from repro.core.migration import MigrationPolicy
 from repro.experiments.base import ExperimentScale, resolve_scale
+from repro.experiments.registry import Artifact, ExperimentSpec, register
 from repro.simulation import Simulation, SimulationConfig
 from repro.sim.rng import RandomStreams
 from repro.units import hours
@@ -134,6 +135,37 @@ def render_intermittent_burst(result: Dict[str, object]) -> str:
             f"bursty demand  [{scale.describe()}]"
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_run(args, progress) -> int:
+    result = run_intermittent_burst(
+        scale=args.scale, seed=args.seed, progress=progress,
+    )
+    print(render_intermittent_burst(result))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    result = run_intermittent_burst(
+        scale=scale, seed=seed, progress=progress,
+    )
+    yield Artifact(
+        stem="ext_int", title="EXT-INT",
+        text=render_intermittent_burst(result),
+    )
+
+
+register(ExperimentSpec(
+    name="burst",
+    help="intermittent scheduling under bursty demand (EXT-INT)",
+    run_cli=_cli_run,
+    artifacts=_cli_artifacts,
+    order=110,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

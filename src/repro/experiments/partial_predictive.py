@@ -23,6 +23,7 @@ from repro.experiments.base import (
     resolve_scale,
     run_sweep,
 )
+from repro.experiments.registry import Artifact, ExperimentSpec, register
 from repro.simulation import SimulationConfig
 
 #: θ grid focused on the skewed regime that separates the schemes.
@@ -63,6 +64,37 @@ def run_partial_predictive(
         base_seed=seed,
         progress=progress,
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_run(args, progress) -> int:
+    result = run_partial_predictive(
+        scale=args.scale, seed=args.seed, progress=progress,
+    )
+    print(result.render(title="EXT-PP: placement sophistication"))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    result = run_partial_predictive(
+        scale=scale, seed=seed, progress=progress,
+    )
+    yield Artifact(
+        stem="ext_pp", title="EXT-PP",
+        text=result.render(title="EXT-PP"), sweep=result,
+    )
+
+
+register(ExperimentSpec(
+    name="partial",
+    help="partial predictive placement (EXT-PP)",
+    run_cli=_cli_run,
+    artifacts=_cli_artifacts,
+    order=40,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

@@ -1,0 +1,127 @@
+"""Self-registration of experiments (docs/ARCHITECTURE.md).
+
+Each experiment module ends with an :data:`EXPERIMENTS.register
+<EXPERIMENTS>` call publishing an :class:`ExperimentSpec` — its CLI
+name, help text, argument hooks, runner, and optional extras (a
+trace-config factory for ``repro trace``, an artifact generator for
+``repro all``).  The CLI builds its subcommands *from this registry*:
+adding an experiment is writing one module, not editing the CLI.
+
+Modules are discovered automatically: importing
+:mod:`repro.experiments` imports every sibling module (see the
+package ``__init__``), so registration needs no hand-maintained import
+list anywhere.
+
+Two registries exist because the CLI surfaces them differently:
+
+* :data:`EXPERIMENTS` — top-level subcommands (``repro fig4`` …).
+* :data:`CHAOS_EXPERIMENTS` — modes of ``repro chaos <mode>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.cluster.system import SystemConfig
+    from repro.experiments.base import SweepResult
+    from repro.simulation import SimulationConfig
+
+#: A progress callback (one line per grid point) or None when quiet.
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One rendered block of the ``repro all`` report.
+
+    Attributes:
+        stem: file stem for per-artifact exports (``fig4_large``).
+        title: section heading.
+        text: the rendered ASCII block.
+        sweep: the underlying :class:`SweepResult` when the artifact is
+            a sweep (exported as ``<stem>.csv`` + provenance sidecar);
+            None for table-shaped artifacts.
+    """
+
+    stem: str
+    title: str
+    text: str
+    sweep: Optional["SweepResult"] = None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything the CLI needs to expose one experiment.
+
+    Attributes:
+        name: subcommand name (``"fig4"``).
+        help: one-line help shown in ``repro --help``.
+        run_cli: ``(args, progress) -> int`` — run the experiment from
+            parsed CLI args and print its report to stdout.
+        add_arguments: optional hook adding experiment-specific flags to
+            the generated subparser (``--system``, ``--policies`` …).
+            The common flags (``--scale``/``--seed``/``--quiet``/obs)
+            are added by the CLI unless :attr:`bare` is set.
+        trace_config: optional ``(system, seed, scale) ->
+            SimulationConfig`` factory producing one representative
+            traced run; experiments providing it appear as ``repro
+            trace <name>`` choices.
+        artifacts: optional ``(scale, seed, progress) -> iterable`` of
+            :class:`Artifact` blocks for the ``repro all`` report;
+            experiments without it are CLI-only.
+        order: position of this experiment's artifacts in the ``all``
+            report (ascending; ties resolve by name).
+        bare: suppress the common flags (for argument-less subcommands
+            like ``fig6``).
+    """
+
+    name: str
+    help: str
+    run_cli: Callable[[argparse.Namespace, Progress], int]
+    add_arguments: Optional[Callable[[argparse.ArgumentParser], None]] = None
+    trace_config: Optional[
+        Callable[["SystemConfig", int, Optional[float]], "SimulationConfig"]
+    ] = None
+    artifacts: Optional[
+        Callable[[Optional[float], int, Progress], Iterable[Artifact]]
+    ] = None
+    order: int = 100
+    bare: bool = False
+
+
+#: Top-level experiment subcommands, in registration (discovery) order.
+EXPERIMENTS: Registry[ExperimentSpec] = Registry("experiment")
+
+#: Modes of the ``repro chaos`` subcommand.
+CHAOS_EXPERIMENTS: Registry[ExperimentSpec] = Registry("chaos experiment")
+
+
+def register(spec: ExperimentSpec, *, chaos: bool = False) -> ExperimentSpec:
+    """Publish *spec* in the appropriate registry and return it."""
+    target = CHAOS_EXPERIMENTS if chaos else EXPERIMENTS
+    target.register(spec.name, spec, help=spec.help)
+    return spec
+
+
+def trace_experiments() -> tuple:
+    """Names of experiments offering a ``repro trace`` setup (sorted)."""
+    return tuple(
+        name
+        for name in EXPERIMENTS.names()
+        if EXPERIMENTS.get(name).trace_config is not None
+    )
+
+
+def add_system_argument(
+    parser: argparse.ArgumentParser, default: str = "large"
+) -> None:
+    """The shared ``--system {small,large}`` flag (choices from the
+    system registry)."""
+    from repro.cluster.system import SYSTEMS
+
+    parser.add_argument("--system", default=default, choices=SYSTEMS.names())

@@ -1,0 +1,117 @@
+"""EXT-SOAK: one seeded, invariant-checked chaos run.
+
+``repro chaos soak`` drives a single simulation with every fault class
+active — crash/repair cycling (with correlation), link brownouts and
+replica loss — plus the graceful-degradation retry queue, all under the
+online :class:`~repro.faults.InvariantChecker`.  Any conservation
+violation aborts the run with exit code 1; this is the CI chaos-soak
+job's gate (docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Tuple
+
+from repro.cluster.request import reset_request_ids
+from repro.cluster.system import SYSTEMS, SystemConfig
+from repro.core.migration import MigrationPolicy
+from repro.experiments.registry import ExperimentSpec, register
+from repro.faults import (
+    CrashFaults,
+    FaultPlan,
+    InvariantViolation,
+    LinkFaults,
+    ReplicaFaults,
+    RetryPolicy,
+)
+from repro.simulation import Simulation, SimulationConfig, SimulationResult
+from repro.units import hours
+
+
+def soak_config(
+    system: SystemConfig,
+    mtbf_hours: float = 1.0,
+    sim_hours: float = 8.0,
+    seed: int = 0,
+) -> SimulationConfig:
+    """The soak scenario: all three fault classes + retry + invariants."""
+    mtbf = hours(mtbf_hours)
+    return SimulationConfig(
+        system=system,
+        theta=0.3,
+        placement="even",
+        migration=MigrationPolicy.paper_default(),
+        staging_fraction=0.2,
+        duration=hours(sim_hours),
+        seed=seed,
+        faults=FaultPlan(
+            crash=CrashFaults(mtbf=mtbf, mttr=mtbf / 4.0, correlation=0.1),
+            link=LinkFaults(mtbf=mtbf * 1.5, mttr=mtbf / 2.0),
+            replica=ReplicaFaults(mean_interval=mtbf * 2.0),
+        ),
+        retry=RetryPolicy(),
+        invariants=True,
+    )
+
+
+def run_soak(
+    config: SimulationConfig,
+) -> Tuple[Optional[SimulationResult], int]:
+    """Run one invariant-checked chaos simulation.
+
+    Returns ``(result, checks_run)``; *result* is None when an
+    invariant violation aborted the run (the violation is printed to
+    stderr).
+    """
+    reset_request_ids()
+    sim = Simulation(config)
+    try:
+        result = sim.run()
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
+        return None, sim.invariant_checker.checks_run
+    return result, sim.invariant_checker.checks_run
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+def _cli_arguments(parser) -> None:
+    parser.add_argument(
+        "--mtbf-hours", type=float, default=1.0,
+        help="(soak) per-server mean time between crashes",
+    )
+    parser.add_argument(
+        "--hours", type=float, default=8.0, dest="sim_hours",
+        help="(soak) simulated hours",
+    )
+
+
+def _cli_run(args, progress) -> int:
+    config = soak_config(
+        system=SYSTEMS[args.system],
+        mtbf_hours=args.mtbf_hours,
+        sim_hours=args.sim_hours,
+        seed=args.seed,
+    )
+    result, checks = run_soak(config)
+    if result is None:
+        return 1
+    print(result)
+    print(
+        f"  faults={result.faults_injected} dropped={result.dropped} "
+        f"retries={result.retries} exhausted={result.retry_exhausted} "
+        f"availability={result.availability:.4f}"
+    )
+    print(f"  invariants clean ({checks} state sweeps)")
+    return 0
+
+
+register(ExperimentSpec(
+    name="soak",
+    help="one seeded chaos run with the online invariant "
+         "checker (exit 1 on any violation)",
+    run_cli=_cli_run,
+    add_arguments=_cli_arguments,
+), chaos=True)

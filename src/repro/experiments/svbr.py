@@ -27,6 +27,7 @@ from repro.experiments.base import (
     resolve_scale,
     run_trials,
 )
+from repro.experiments.registry import Artifact, ExperimentSpec, register
 from repro.simulation import SimulationConfig
 from repro.units import minutes
 
@@ -115,6 +116,32 @@ def render_svbr(result: Dict[str, object]) -> str:
             f"[{scale.describe()}]"
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+
+def _cli_run(args, progress) -> int:
+    result = run_svbr(scale=args.scale, seed=args.seed, progress=progress)
+    print(render_svbr(result))
+    return 0
+
+
+def _cli_artifacts(scale, seed, progress):
+    result = run_svbr(scale=scale, seed=seed, progress=progress)
+    yield Artifact(
+        stem="ext_svbr", title="EXT-SVBR", text=render_svbr(result),
+    )
+
+
+register(ExperimentSpec(
+    name="svbr",
+    help="utilization vs SVBR + Erlang-B (EXT-SVBR)",
+    run_cli=_cli_run,
+    artifacts=_cli_artifacts,
+    order=90,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI glue, exercised via repro.cli

@@ -17,7 +17,7 @@ and relocation mechanics are delegated to
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.analysis.metrics import SimulationMetrics
 from repro.core.failover import FailoverManager

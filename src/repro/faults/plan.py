@@ -15,9 +15,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.serialize import check_fields, optional_nested, shallow_dict
+
+
+class _SerializableFaults:
+    """Shared to_dict/from_dict for the flat fault dataclasses."""
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; round-trips via :meth:`from_dict`."""
+        return shallow_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        """Build from a (possibly partial) dict; unknown keys raise."""
+        check_fields(cls, data)
+        kwargs = dict(data)
+        for key in ("servers", "factor_range"):
+            if isinstance(kwargs.get(key), list):
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
-class CrashFaults:
+class CrashFaults(_SerializableFaults):
     """Whole-node crash/repair cycling.
 
     Attributes:
@@ -48,7 +68,7 @@ class CrashFaults:
 
 
 @dataclass(frozen=True)
-class LinkFaults:
+class LinkFaults(_SerializableFaults):
     """Partial outbound-link degradation (brownout, not blackout).
 
     Attributes:
@@ -78,7 +98,7 @@ class LinkFaults:
 
 
 @dataclass(frozen=True)
-class ReplicaFaults:
+class ReplicaFaults(_SerializableFaults):
     """On-disk replica destruction (bad sector, not a node outage).
 
     Attributes:
@@ -119,3 +139,23 @@ class FaultPlan:
     def empty(self) -> bool:
         """True when no fault class is configured."""
         return self.crash is None and self.link is None and self.replica is None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; round-trips via :meth:`from_dict`."""
+        return {
+            "crash": self.crash.to_dict() if self.crash else None,
+            "link": self.link.to_dict() if self.link else None,
+            "replica": self.replica.to_dict() if self.replica else None,
+            "start": self.start,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Build from a (possibly partial) dict; unknown keys raise."""
+        check_fields(cls, data)
+        return cls(
+            crash=optional_nested(data, "crash", CrashFaults),
+            link=optional_nested(data, "link", LinkFaults),
+            replica=optional_nested(data, "replica", ReplicaFaults),
+            start=data.get("start", 0.0),
+        )

@@ -71,6 +71,20 @@ class RetryPolicy:
                 f"max_pending must be >= 1, got {self.max_pending}"
             )
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; round-trips via :meth:`from_dict`."""
+        from repro.serialize import shallow_dict
+
+        return shallow_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Build from a (possibly partial) dict; unknown keys raise."""
+        from repro.serialize import check_fields
+
+        check_fields(cls, data)
+        return cls(**data)
+
     def delay_for(self, attempt: int, jitter_draw: float) -> float:
         """Backoff before resubmission *attempt* (1-based).
 

@@ -45,7 +45,10 @@ def run_provenance(
     Args:
         seed: root random seed of the run/sweep.
         scale: fidelity factor (None when not applicable).
-        config: hashed into ``config_hash`` when given.
+        config: hashed into ``config_hash`` when given; configs that
+            serialize (``to_dict``) are additionally embedded verbatim
+            under ``config`` so the sidecar alone can rebuild the exact
+            run (``SimulationConfig.from_dict``).
         extra: caller-specific additions (merged last).
     """
     # Imported lazily: repro/__init__ imports modules that import this
@@ -64,6 +67,9 @@ def run_provenance(
     }
     if config is not None:
         prov["config_hash"] = config_hash(config)
+        to_dict = getattr(config, "to_dict", None)
+        if callable(to_dict):
+            prov["config"] = to_dict()
     if extra:
         prov.update(extra)
     return prov

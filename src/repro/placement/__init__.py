@@ -23,14 +23,29 @@ from repro.placement.capacity import assign_copies_randomly
 from repro.placement.even import EvenPlacement
 from repro.placement.partial import PartialPredictivePlacement
 from repro.placement.predictive import PredictivePlacement
+from repro.registry import Registry
 
-#: Registry used by the simulation config layer.
-PLACEMENTS = {
-    "even": EvenPlacement,
-    "predictive": PredictivePlacement,
-    "partial": PartialPredictivePlacement,
-    "bsr": BSRPlacement,
-}
+#: Placement registry used by the simulation config layer; unknown keys
+#: raise an actionable :class:`repro.registry.UnknownKeyError`.
+PLACEMENTS: Registry[type] = Registry("placement")
+PLACEMENTS.register(
+    "even", EvenPlacement,
+    help="same number of copies per video, rounding at random "
+         "(popularity-oblivious; the paper's headline scheme)",
+)
+PLACEMENTS.register(
+    "predictive", PredictivePlacement,
+    help="copies proportional to perfectly known popularity",
+)
+PLACEMENTS.register(
+    "partial", PartialPredictivePlacement,
+    help="partial predictive: extra copies for the hottest titles only "
+         "(Section 4.4)",
+)
+PLACEMENTS.register(
+    "bsr", BSRPlacement,
+    help="bandwidth-to-space-ratio greedy baseline (Dan & Sitaram)",
+)
 
 __all__ = [
     "BSRPlacement",

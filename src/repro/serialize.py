@@ -1,0 +1,84 @@
+"""Shared helpers for config ``to_dict()``/``from_dict()`` round trips.
+
+Every configuration dataclass (``SimulationConfig`` and its nested
+parts) serializes to plain JSON-compatible dicts so a run can be
+captured as a *scenario file* (:mod:`repro.scenario`) and embedded
+verbatim in provenance sidecars.  The contract, enforced by property
+tests:
+
+* ``Cls.from_dict(cfg.to_dict()) == cfg`` for every valid config;
+* ``from_dict`` accepts **partial** dicts (missing keys fall back to
+  the dataclass defaults) so hand-written scenario files stay terse;
+* unknown keys raise an actionable :class:`ValueError` naming the bad
+  key and the valid field names — a typo in a scenario file must not
+  silently vanish.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Mapping, Optional, Type
+
+
+def check_fields(
+    cls: Type, data: Mapping[str, Any], *, extra: tuple = ()
+) -> None:
+    """Reject keys of *data* that are not fields of dataclass *cls*.
+
+    Args:
+        cls: the target dataclass.
+        data: the incoming dict.
+        extra: additionally accepted keys (e.g. ``"preset"``).
+
+    Raises:
+        ValueError: naming every unknown key and the valid choices.
+    """
+    valid = {f.name for f in dataclasses.fields(cls)} | set(extra)
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        keys = ", ".join(repr(k) for k in unknown)
+        raise ValueError(
+            f"unknown {cls.__name__} key(s) {keys}; "
+            f"valid keys: {', '.join(sorted(valid))}"
+        )
+
+
+def require(data: Mapping[str, Any], key: str, cls: Type) -> Any:
+    """Fetch a mandatory *key*, failing with the owning class named."""
+    try:
+        return data[key]
+    except KeyError:
+        raise ValueError(
+            f"{cls.__name__} dict is missing required key {key!r}"
+        ) from None
+
+
+def optional_nested(
+    data: Mapping[str, Any], key: str, cls: Type
+) -> Optional[Any]:
+    """Deserialize ``data[key]`` via ``cls.from_dict`` when present and
+    not None."""
+    value = data.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, Mapping):
+        raise ValueError(
+            f"{key!r} must be a mapping (a serialized {cls.__name__}), "
+            f"got {type(value).__name__}"
+        )
+    return cls.from_dict(value)
+
+
+def shallow_dict(obj: Any) -> Dict[str, Any]:
+    """Dataclass fields as a dict, tuples converted to JSON lists.
+
+    Shallow on purpose: nested config dataclasses serialize themselves
+    via their own ``to_dict`` — callers replace those keys explicitly.
+    """
+    out: Dict[str, Any] = {}
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name)
+        if isinstance(value, tuple):
+            value = [list(v) if isinstance(v, tuple) else v for v in value]
+        out[field.name] = value
+    return out

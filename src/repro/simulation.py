@@ -26,7 +26,7 @@ utilization and rejection statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from repro.analysis.metrics import SimulationMetrics
 from repro.cluster.client import ClientProfile, staging_capacity
 from repro.cluster.controller import DistributionController
 from repro.cluster.request import reset_request_ids
-from repro.cluster.system import SystemConfig
+from repro.cluster.system import SYSTEMS, SystemConfig
 from repro.core.migration import MigrationPolicy
 from repro.core.failover import FailoverManager
 from repro.core.replication import DynamicReplicator, ReplicationPolicy
@@ -49,9 +49,10 @@ from repro.faults import (
 )
 from repro.placement import PLACEMENTS
 from repro.placement.base import PlacementResult
+from repro.serialize import check_fields
 from repro.sim.engine import Engine
 from repro.sim.rng import RandomStreams
-from repro.workload.arrivals import PoissonArrivalProcess, calibrated_arrival_rate
+from repro.workload.arrivals import ARRIVALS, calibrated_arrival_rate
 from repro.workload.catalog import VideoCatalog, make_catalog
 from repro.workload.zipf import ZipfPopularity
 
@@ -98,10 +99,17 @@ class SimulationConfig:
         invariants: attach the online invariant checker
             (:class:`repro.faults.InvariantChecker`); also switchable
             per-environment via ``REPRO_INVARIANTS=1``.
+        arrivals: arrival-process registry key (see
+            :data:`repro.workload.arrivals.ARRIVALS`); ``"poisson"``
+            (the paper's model) or ``"bursty"``.
+        arrival_params: extra keyword arguments for the arrival-process
+            constructor, as a tuple of ``(name, value)`` pairs (a tuple
+            so the config stays hashable; scenario files write a JSON
+            object).  E.g. ``(("burst_multiplier", 4.0),)``.
     """
 
     system: SystemConfig
-    theta: float
+    theta: float = 0.0
     placement: str = "even"
     migration: MigrationPolicy = field(default_factory=MigrationPolicy.disabled)
     staging_fraction: float = 0.0
@@ -119,6 +127,8 @@ class SimulationConfig:
     faults: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
     invariants: bool = False
+    arrivals: str = "poisson"
+    arrival_params: Tuple[Tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.client_mix is not None:
@@ -142,16 +152,20 @@ class SimulationConfig:
             raise ValueError(
                 f"mean_pause must be positive, got {self.mean_pause}"
             )
-        if self.placement not in PLACEMENTS:
-            raise ValueError(
-                f"unknown placement {self.placement!r}; "
-                f"choose from {sorted(PLACEMENTS)}"
-            )
-        if self.scheduler not in ALLOCATORS:
-            raise ValueError(
-                f"unknown scheduler {self.scheduler!r}; "
-                f"choose from {sorted(ALLOCATORS)}"
-            )
+        # Registry lookups raise UnknownKeyError (a ValueError) naming
+        # the valid choices — the actionable-error contract.
+        PLACEMENTS.get(self.placement)
+        ALLOCATORS.get(self.scheduler)
+        ARRIVALS.get(self.arrivals)
+        for pair in self.arrival_params:
+            if (
+                not isinstance(pair, tuple)
+                or len(pair) != 2
+                or not isinstance(pair[0], str)
+            ):
+                raise ValueError(
+                    f"arrival_params must be (name, value) pairs, got {pair!r}"
+                )
         if self.admission not in ("minflow", "overbook"):
             raise ValueError(
                 f"admission must be 'minflow' or 'overbook', "
@@ -174,6 +188,92 @@ class SimulationConfig:
             )
         if self.load <= 0:
             raise ValueError(f"load must be positive, got {self.load}")
+
+    def to_dict(self) -> dict:
+        """The full configuration as a JSON-compatible dict.
+
+        Round-trips exactly: ``SimulationConfig.from_dict(cfg.to_dict())
+        == cfg`` (the scenario-layer contract, pinned by property
+        tests).  Nested policies serialize through their own
+        ``to_dict``; ``None`` marks a disabled optional subsystem.
+        """
+        return {
+            "system": self.system.to_dict(),
+            "theta": self.theta,
+            "placement": self.placement,
+            "migration": self.migration.to_dict(),
+            "staging_fraction": self.staging_fraction,
+            "scheduler": self.scheduler,
+            "admission": self.admission,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "load": self.load,
+            "seed": self.seed,
+            "client_receive_bandwidth": self.client_receive_bandwidth,
+            "replication": (
+                self.replication.to_dict() if self.replication else None
+            ),
+            "pause_hazard": self.pause_hazard,
+            "mean_pause": self.mean_pause,
+            "client_mix": (
+                [list(pair) for pair in self.client_mix]
+                if self.client_mix is not None
+                else None
+            ),
+            "faults": self.faults.to_dict() if self.faults else None,
+            "retry": self.retry.to_dict() if self.retry else None,
+            "invariants": self.invariants,
+            "arrivals": self.arrivals,
+            "arrival_params": dict(self.arrival_params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SimulationConfig":
+        """Build a config from a dict (e.g. a scenario file's body).
+
+        Accepts partial dicts (missing keys use the dataclass
+        defaults); ``system`` is mandatory and may be a serialized
+        :class:`SystemConfig`, a ``{"preset": name}`` shorthand, or
+        just a preset name string.  Unknown keys raise an actionable
+        :class:`ValueError`.
+        """
+        check_fields(cls, data)
+        data = dict(data)
+        try:
+            system = data.pop("system")
+        except KeyError:
+            raise ValueError(
+                "SimulationConfig dict is missing required key 'system'"
+            ) from None
+        if isinstance(system, str):
+            system = SYSTEMS.get(system)
+        elif isinstance(system, Mapping):
+            system = SystemConfig.from_dict(system)
+        elif not isinstance(system, SystemConfig):
+            raise ValueError(
+                f"'system' must be a mapping, a preset name, or a "
+                f"SystemConfig, got {type(system).__name__}"
+            )
+        for key, nested in (
+            ("migration", MigrationPolicy),
+            ("replication", ReplicationPolicy),
+            ("faults", FaultPlan),
+            ("retry", RetryPolicy),
+        ):
+            if isinstance(data.get(key), Mapping):
+                data[key] = nested.from_dict(data[key])
+        if data.get("client_mix") is not None:
+            data["client_mix"] = tuple(
+                tuple(pair) for pair in data["client_mix"]
+            )
+        params = data.get("arrival_params")
+        if params is not None and not isinstance(params, tuple):
+            if isinstance(params, Mapping):
+                params = params.items()
+            data["arrival_params"] = tuple(
+                (str(k), v) for k, v in params
+            )
+        return cls(system=system, **data)
 
 
 @dataclass
@@ -224,6 +324,29 @@ class Simulation:
     wiring); :meth:`run` performs the dynamic phase.  A Simulation is
     single-use: call :meth:`run` once.
 
+    **Build stages.**  Construction is a pipeline of named stages
+    (:data:`BUILD_STAGES`), each a ``_build_<stage>`` method that
+    documents what exists once it completes:
+
+    ========== =====================================================
+    stage      products
+    ========== =====================================================
+    rng        ``streams``, ``engine`` (fresh request-id space)
+    demand     ``catalog``, ``popularity``
+    cluster    ``servers``
+    placement  ``placement_result``
+    controller ``controller`` (admission front door, client profiles)
+    workload   ``arrival_rate``, arrival process, ``interactivity``
+    faults     ``failover``, ``retry_queue``, ``fault_injector``
+    observers  ``invariant_checker``, ``replicator``
+    ========== =====================================================
+
+    The *stage_hooks* argument is the extension point: a mapping from
+    stage name to a ``hook(sim)`` callable invoked right after that
+    stage, seeing everything built so far — e.g. a ``"placement"`` hook
+    can inspect or patch ``sim.placement_result`` before the controller
+    is wired (see docs/ARCHITECTURE.md).
+
     Observability (all optional, zero overhead when off):
 
     * *tracer* — a :class:`repro.obs.Tracer` receiving structured
@@ -237,20 +360,35 @@ class Simulation:
       ``sim.registry.snapshot()``.
     """
 
+    #: Stage order.  Each stage only consumes products of earlier ones.
+    BUILD_STAGES: Tuple[str, ...] = (
+        "rng",
+        "demand",
+        "cluster",
+        "placement",
+        "controller",
+        "workload",
+        "faults",
+        "observers",
+    )
+
     def __init__(
         self,
         config: SimulationConfig,
         tracer: Optional[obs.Tracer] = None,
         profiler: Optional[obs.EventProfiler] = None,
+        stage_hooks: Optional[
+            Mapping[str, Callable[["Simulation"], None]]
+        ] = None,
     ) -> None:
         self.config = config
-        # Request ids restart at zero per Simulation: ids seed per-request
-        # RNG substreams (retry jitter), so a process-global counter
-        # would make results depend on how many runs a reused sweep
-        # worker had already executed.
-        reset_request_ids()
-        self.streams = RandomStreams(seed=config.seed)
-        self.engine = Engine()
+        self._stage_hooks = dict(stage_hooks) if stage_hooks else {}
+        unknown = sorted(set(self._stage_hooks) - set(self.BUILD_STAGES))
+        if unknown:
+            raise ValueError(
+                f"unknown build stage(s) {', '.join(map(repr, unknown))}; "
+                f"choose from: {', '.join(self.BUILD_STAGES)}"
+            )
 
         self._trace_path = obs.env_trace_path()
         if tracer is None and self._trace_path is not None:
@@ -262,25 +400,79 @@ class Simulation:
         self.profiler = profiler
         self.registry = obs.MetricsRegistry()
 
-        system = config.system
+        for stage in self.BUILD_STAGES:
+            getattr(self, f"_build_{stage}")()
+            hook = self._stage_hooks.get(stage)
+            if hook is not None:
+                hook(self)
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Build stages (hook point after each; see class docstring)
+    # ------------------------------------------------------------------
+    def _build_rng(self) -> None:
+        """Seeded randomness and the event engine.
+
+        After: ``self.streams`` (named substream factory rooted at
+        ``config.seed``), ``self.engine``, and a fresh request-id space.
+        """
+        # Request ids restart at zero per Simulation: ids seed per-request
+        # RNG substreams (retry jitter), so a process-global counter
+        # would make results depend on how many runs a reused sweep
+        # worker had already executed.
+        reset_request_ids()
+        self.streams = RandomStreams(seed=self.config.seed)
+        self.engine = Engine()
+
+    def _build_demand(self) -> None:
+        """Catalog and demand model.
+
+        After: ``self.catalog`` (video lengths/sizes) and
+        ``self.popularity`` (the Zipf(θ) demand skew).
+        """
+        system = self.config.system
         self.catalog: VideoCatalog = make_catalog(
             system.n_videos,
             system.video_length_range,
             self.streams.get("catalog"),
             view_bandwidth=system.view_bandwidth,
         )
-        self.popularity = ZipfPopularity(system.n_videos, config.theta)
+        self.popularity = ZipfPopularity(system.n_videos, self.config.theta)
 
-        self.servers = system.build_servers()
+    def _build_cluster(self) -> None:
+        """Data servers.
+
+        After: ``self.servers`` — fresh :class:`DataServer` objects
+        matching ``config.system``.
+        """
+        self.servers = self.config.system.build_servers()
+
+    def _build_placement(self) -> None:
+        """Static replica placement.
+
+        After: ``self.placement_result`` — the placement map plus its
+        shortfall diagnostic.  A hook here sees replicas assigned but
+        nothing wired to serve them yet.
+        """
+        config = self.config
         policy_cls = PLACEMENTS[config.placement]
         self.placement_result: PlacementResult = policy_cls().allocate(
             self.catalog,
             self.popularity,
             self.servers,
-            system.total_copies,
+            config.system.total_copies,
             self.streams.get("placement"),
         )
 
+    def _build_controller(self) -> None:
+        """Admission front door.
+
+        After: ``self.controller`` — the
+        :class:`DistributionController` wired with client profiles,
+        the scheduler/allocator, DRM policy and metrics.
+        """
+        config = self.config
+        system = config.system
         receive_bw = (
             config.client_receive_bandwidth
             if config.client_receive_bandwidth is not None
@@ -329,6 +521,15 @@ class Simulation:
             tracer=self.tracer,
         )
 
+    def _build_workload(self) -> None:
+        """Request generation.
+
+        After: ``self.arrival_rate`` (calibrated to ``config.load``),
+        ``self._arrivals`` (the registered arrival process feeding
+        ``controller.submit``) and ``self.interactivity`` (the VCR
+        pause/resume model, or None).
+        """
+        config = self.config
         self.interactivity = None
         if config.pause_hazard > 0.0:
             from repro.workload.interactivity import InteractivityModel
@@ -341,9 +542,30 @@ class Simulation:
                 mean_pause_duration=config.mean_pause,
             )
 
-        # Robustness layer (repro.faults): failover mechanics are built
-        # whenever chaos or a retry queue needs them; the injector and
-        # checker are strictly opt-in.
+        self.arrival_rate = calibrated_arrival_rate(
+            self.popularity,
+            self.catalog,
+            config.system.total_bandwidth,
+            load=config.load,
+        )
+        arrival_cls = ARRIVALS[config.arrivals]
+        self._arrivals = arrival_cls(
+            engine=self.engine,
+            rate=self.arrival_rate,
+            popularity=self.popularity,
+            rng=self.streams.get("arrivals"),
+            on_arrival=self.controller.submit,
+            **dict(config.arrival_params),
+        )
+
+    def _build_faults(self) -> None:
+        """Robustness layer (repro.faults).
+
+        After: ``self.failover`` (built whenever chaos or a retry
+        queue needs it), ``self.retry_queue`` and
+        ``self.fault_injector`` (strictly opt-in, already started).
+        """
+        config = self.config
         inject = config.faults is not None and not config.faults.empty
         self.failover: Optional[FailoverManager] = None
         if inject or config.retry is not None:
@@ -376,6 +598,15 @@ class Simulation:
                 metrics=self.metrics,
             )
             self.fault_injector.start()
+
+    def _build_observers(self) -> None:
+        """Decision observers and online checks.
+
+        After: ``self.invariant_checker`` (opt-in conservation checks)
+        and ``self.replicator`` (the dynamic-replication extension,
+        hooked into the controller's decision stream).
+        """
+        config = self.config
         self.invariant_checker: Optional[InvariantChecker] = None
         if config.invariants or obs.env_invariants_enabled():
             self.invariant_checker = InvariantChecker(
@@ -393,21 +624,6 @@ class Simulation:
                 policy=config.replication,
             )
             self.controller.decision_hooks.append(self.replicator.observe)
-
-        self.arrival_rate = calibrated_arrival_rate(
-            self.popularity,
-            self.catalog,
-            system.total_bandwidth,
-            load=config.load,
-        )
-        self._arrivals = PoissonArrivalProcess(
-            engine=self.engine,
-            rate=self.arrival_rate,
-            popularity=self.popularity,
-            rng=self.streams.get("arrivals"),
-            on_arrival=self.controller.submit,
-        )
-        self._ran = False
 
     @property
     def metrics(self) -> SimulationMetrics:

@@ -1,11 +1,9 @@
 """Unit tests for admission control (least-loaded + rejection paths)."""
 
-import pytest
-
 from repro.core.admission import AdmissionOutcome
 from repro.core.migration import MigrationPolicy
 
-from conftest import build_micro_cluster, make_client, make_video
+from conftest import build_micro_cluster, make_video
 
 
 def two_server_cluster(bandwidth=3.0, migration=None):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.metrics import SimulationMetrics
 from repro.cluster.client import ClientProfile
 from repro.cluster.controller import DistributionController
 from repro.cluster.server import DataServer
@@ -11,7 +10,7 @@ from repro.core.migration import MigrationPolicy
 from repro.core.schedulers import EFTFAllocator
 from repro.placement.base import PlacementMap
 from repro.sim.engine import Engine
-from repro.workload.catalog import Video, VideoCatalog
+from repro.workload.catalog import VideoCatalog
 
 from conftest import make_video
 

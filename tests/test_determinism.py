@@ -7,7 +7,6 @@ every major feature combination so a regression (e.g. an accidental
 set-iteration dependence) is caught immediately.
 """
 
-import pytest
 
 from repro import SMALL_SYSTEM, MigrationPolicy, Simulation, SimulationConfig
 from repro.core.replication import ReplicationPolicy

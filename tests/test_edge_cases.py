@@ -6,7 +6,7 @@ import pytest
 
 from repro import SMALL_SYSTEM, MigrationPolicy, Simulation, SimulationConfig
 from repro.core.admission import AdmissionOutcome
-from repro.units import hours, minutes
+from repro.units import hours
 from repro.workload.zipf import ZipfPopularity
 
 from conftest import build_micro_cluster, make_client, make_video

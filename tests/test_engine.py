@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import SimulationError
 from repro.sim.events import Event, EventState
 
 
@@ -151,10 +151,36 @@ class TestIntrospection:
 
     def test_trace_hook_sees_events(self, engine):
         seen = []
-        engine.trace = lambda ev: seen.append((ev.time, ev.kind))
+        engine.add_trace(lambda ev: seen.append((ev.time, ev.kind)))
         engine.schedule(1.0, lambda: None, kind="ping")
         engine.run()
         assert seen == [(1.0, "ping")]
+
+    def test_deprecated_trace_shim_warns_and_still_works(self, engine):
+        # External users assigning the legacy single-subscriber slot
+        # must get a DeprecationWarning, and the hook must still fire.
+        seen = []
+        with pytest.warns(DeprecationWarning, match="Engine.trace"):
+            engine.trace = lambda ev: seen.append(ev.kind)
+        engine.schedule(1.0, lambda: None, kind="ping")
+        engine.run()
+        assert seen == ["ping"]
+
+    def test_no_internal_caller_uses_deprecated_trace(self):
+        # The shim exists for external users only: a fully traced
+        # simulation run must not touch it.
+        import warnings
+
+        from repro import obs
+        from repro.cluster.system import SMALL_SYSTEM
+        from repro.simulation import Simulation, SimulationConfig
+
+        config = SimulationConfig(
+            system=SMALL_SYSTEM, theta=0.0, duration=600.0, seed=1
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Simulation(config, tracer=obs.Tracer()).run()
 
     def test_iter_pending_excludes_cancelled(self, engine):
         keep = engine.schedule(1.0, lambda: None, kind="keep")

@@ -6,8 +6,6 @@ structures, scale resolution, seed pairing.  The *scientific* shapes
 are pinned by test_integration.py at more meaningful durations.
 """
 
-import dataclasses
-import os
 
 import pytest
 

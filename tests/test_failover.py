@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.metrics import SimulationMetrics
 from repro.cluster.request import RequestState
 from repro.core.failover import FailoverManager
 from repro.core.migration import MigrationPolicy

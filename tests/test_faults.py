@@ -15,7 +15,6 @@ Three contracts under test:
 
 from __future__ import annotations
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings

@@ -9,10 +9,8 @@ outside run-to-run noise with a fixed seed.
 import pytest
 
 from repro import (
-    LARGE_SYSTEM,
     SMALL_SYSTEM,
     MigrationPolicy,
-    Simulation,
     SimulationConfig,
     run_simulation,
 )

@@ -5,7 +5,6 @@ import pytest
 from repro.core.admission import AdmissionOutcome
 from repro.core.migration import (
     MigrationPolicy,
-    execute_chain,
     find_migration_chain,
 )
 

@@ -8,7 +8,6 @@ from repro.placement.base import PlacementMap, clamp_counts_to_total
 from repro.placement.capacity import assign_copies_randomly, storage_feasible
 from repro.workload.catalog import Video, VideoCatalog
 
-from conftest import make_video
 
 
 def catalog_of(n, size_mb=100.0):

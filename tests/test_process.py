@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import SimulationError
 from repro.sim.process import PeriodicTimer, Process
 
 

@@ -1,0 +1,177 @@
+"""Tests for the generic plugin registry and its concrete instances.
+
+The actionable-error contract (ISSUE 4 satellite): every lookup site —
+placement, scheduler, arrival process, system preset, paper policy,
+experiment — must reject an unknown key with an error that names the
+bad key *and* lists the valid choices, never a bare ``KeyError``.
+"""
+
+import pytest
+
+from repro.registry import (
+    DuplicateKeyError,
+    Registry,
+    RegistryError,
+    UnknownKeyError,
+)
+
+
+class TestRegistryContract:
+    def make(self):
+        reg = Registry("widget")
+        reg.register("b", 2, help="second")
+        reg.register("a", 1, help="first")
+        return reg
+
+    def test_register_and_get(self):
+        reg = self.make()
+        assert reg.get("a") == 1
+        assert reg["b"] == 2
+
+    def test_decorator_form_returns_object_unchanged(self):
+        reg = Registry("widget")
+
+        @reg.register("f", help="callable entry")
+        def f():
+            return 42
+
+        assert f() == 42
+        assert reg.get("f") is f
+
+    def test_duplicate_name_rejected(self):
+        reg = self.make()
+        with pytest.raises(DuplicateKeyError, match="widget 'a' is already"):
+            reg.register("a", 3)
+
+    def test_replace_allows_override(self):
+        reg = self.make()
+        reg.register("a", 3, replace=True)
+        assert reg.get("a") == 3
+
+    def test_unregister_removes(self):
+        reg = self.make()
+        assert reg.unregister("a") == 1
+        assert "a" not in reg
+        with pytest.raises(UnknownKeyError):
+            reg.unregister("a")
+
+    def test_unknown_key_error_is_actionable(self):
+        reg = self.make()
+        with pytest.raises(UnknownKeyError) as exc:
+            reg.get("zzz")
+        message = str(exc.value)
+        assert "widget" in message
+        assert "'zzz'" in message
+        assert "a" in message and "b" in message
+
+    def test_unknown_key_on_empty_registry(self):
+        reg = Registry("widget")
+        with pytest.raises(UnknownKeyError, match="no widgets registered"):
+            reg.get("x")
+
+    def test_unknown_key_error_is_keyerror_and_valueerror(self):
+        # Lookup sites historically raised one or the other; both
+        # caller styles must keep working.
+        reg = self.make()
+        with pytest.raises(KeyError):
+            reg["zzz"]
+        with pytest.raises(ValueError):
+            reg["zzz"]
+        assert issubclass(UnknownKeyError, RegistryError)
+
+    def test_names_sorted_iteration_in_registration_order(self):
+        reg = self.make()
+        assert reg.names() == ("a", "b")
+        assert list(reg) == ["b", "a"]
+        assert reg.keys() == ["b", "a"]
+        assert reg.values() == [2, 1]
+        assert reg.items() == [("b", 2), ("a", 1)]
+
+    def test_describe_and_help_for(self):
+        reg = self.make()
+        assert reg.describe() == {"b": "second", "a": "first"}
+        assert reg.help_for("a") == "first"
+        with pytest.raises(UnknownKeyError):
+            reg.help_for("zzz")
+
+    def test_dict_surface(self):
+        reg = self.make()
+        assert len(reg) == 2
+        assert "a" in reg and "zzz" not in reg
+
+
+class TestConcreteRegistries:
+    """Each pluggable family is published through a Registry."""
+
+    def test_allocators(self):
+        from repro.core.schedulers import ALLOCATORS
+
+        assert set(ALLOCATORS.names()) >= {
+            "eftf", "lftf", "proportional", "none", "intermittent",
+        }
+        with pytest.raises(UnknownKeyError, match="scheduler 'eftc'.*eftf"):
+            ALLOCATORS.get("eftc")
+
+    def test_placements(self):
+        from repro.placement import PLACEMENTS
+
+        assert set(PLACEMENTS.names()) >= {
+            "even", "predictive", "partial", "bsr",
+        }
+        with pytest.raises(UnknownKeyError, match="placement 'evne'.*even"):
+            PLACEMENTS.get("evne")
+
+    def test_arrivals(self):
+        from repro.workload.arrivals import ARRIVALS
+
+        assert set(ARRIVALS.names()) >= {"poisson", "bursty"}
+        with pytest.raises(
+            UnknownKeyError, match="arrival process 'uniform'.*poisson"
+        ):
+            ARRIVALS.get("uniform")
+
+    def test_systems(self):
+        from repro.cluster.system import LARGE_SYSTEM, SMALL_SYSTEM, SYSTEMS
+
+        assert SYSTEMS.get("small") is SMALL_SYSTEM
+        assert SYSTEMS.get("large") is LARGE_SYSTEM
+        with pytest.raises(UnknownKeyError, match="system 'huge'.*large"):
+            SYSTEMS.get("huge")
+
+    def test_paper_policies(self):
+        from repro.core.policies import PAPER_POLICIES
+
+        # Figure 6 matrix order is preserved by iteration.
+        assert list(PAPER_POLICIES) == [f"P{i}" for i in range(1, 9)]
+        with pytest.raises(UnknownKeyError, match="policy 'P9'.*P1, P2"):
+            PAPER_POLICIES.get("P9")
+
+    def test_experiments_registry_populated_by_discovery(self):
+        import repro.experiments  # noqa: F401 - triggers auto-registration
+        from repro.experiments.registry import CHAOS_EXPERIMENTS, EXPERIMENTS
+
+        assert set(EXPERIMENTS.names()) >= {
+            "fig4", "fig5", "fig6", "fig7", "svbr", "partial", "het",
+            "ablation", "replication", "burst", "vcr", "mix",
+        }
+        assert set(CHAOS_EXPERIMENTS.names()) == {"availability", "soak"}
+        with pytest.raises(UnknownKeyError, match="experiment 'fig9'.*fig4"):
+            EXPERIMENTS.get("fig9")
+        with pytest.raises(
+            UnknownKeyError, match="chaos experiment 'meltdown'.*availability"
+        ):
+            CHAOS_EXPERIMENTS.get("meltdown")
+
+    def test_experiment_help_matches_spec(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        for name in EXPERIMENTS.names():
+            assert EXPERIMENTS.help_for(name) == EXPERIMENTS.get(name).help
+
+    def test_trace_experiments_offer_trace_config(self):
+        from repro.experiments.registry import EXPERIMENTS, trace_experiments
+
+        names = trace_experiments()
+        assert set(names) == {"fig4", "fig5", "fig7"}
+        for name in names:
+            assert EXPERIMENTS.get(name).trace_config is not None

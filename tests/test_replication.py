@@ -5,7 +5,7 @@ import pytest
 from repro.core.admission import AdmissionOutcome
 from repro.core.replication import DynamicReplicator, ReplicationPolicy
 
-from conftest import build_micro_cluster, make_client, make_video
+from conftest import build_micro_cluster, make_video
 
 
 def replicating_cluster(

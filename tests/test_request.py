@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.analysis.metrics import SimulationMetrics
-from repro.cluster.request import EPS_MB, Request, RequestState
+from repro.cluster.request import EPS_MB, RequestState
 
 from conftest import make_client, make_request, make_video
 

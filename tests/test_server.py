@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.server import DataServer, StorageError
 
-from conftest import make_client, make_request, make_video
+from conftest import make_request, make_video
 
 
 def server(bandwidth=10.0, disk=1000.0, server_id=0):

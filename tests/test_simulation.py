@@ -1,6 +1,5 @@
 """Unit tests for the Simulation facade and its configuration."""
 
-import dataclasses
 import math
 
 import pytest
@@ -31,12 +30,20 @@ def quick_config(**overrides):
 
 class TestConfigValidation:
     def test_unknown_placement_rejected(self):
-        with pytest.raises(ValueError):
+        # The registry's actionable error: names the bad key and the
+        # valid choices (not a bare KeyError).
+        with pytest.raises(ValueError, match="placement 'nope'.*even"):
             quick_config(placement="nope")
 
     def test_unknown_scheduler_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="scheduler 'nope'.*eftf"):
             quick_config(scheduler="nope")
+
+    def test_unknown_arrival_process_rejected(self):
+        with pytest.raises(
+            ValueError, match="arrival process 'nope'.*poisson"
+        ):
+            quick_config(arrivals="nope")
 
     def test_nonpositive_duration_rejected(self):
         with pytest.raises(ValueError):

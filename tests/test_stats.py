@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.analysis.stats import SummaryStats, summarize
+from repro.analysis.stats import summarize
 
 
 class TestSummarize:
