@@ -176,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
             spec.add_arguments(p)
     _add_common(p)
 
+    sub.add_parser(
+        "list",
+        help="print every pluggable registry (experiments, allocators, "
+             "placements, arrivals, systems, paper policies)",
+    )
+
     p = sub.add_parser(
         "run",
         help="one ad-hoc simulation, from flags or a scenario file",
@@ -324,6 +330,19 @@ def _run_all(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
+    try:
+        return _main(args)
+    except BrokenPipeError:
+        # Downstream pipe closed early (`repro list | head`): the cut
+        # output is exactly what the user asked for, not an error.
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(args) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
 
@@ -403,7 +422,41 @@ def _run_config(args) -> SimulationConfig:
     return scenario.config
 
 
+def _cmd_list() -> int:
+    """``repro list``: one block per registry, in registration order.
+
+    Each block comes straight from ``Registry.describe()`` — the same
+    help strings the registration sites publish — so the listing stays
+    complete by construction as plugins are added.
+    """
+    from repro.core.policies import PAPER_POLICIES
+    from repro.workload.arrivals import ARRIVALS
+
+    sections = (
+        ("experiments", EXPERIMENTS),
+        ("chaos experiments", CHAOS_EXPERIMENTS),
+        ("allocators", ALLOCATORS),
+        ("placements", PLACEMENTS),
+        ("arrivals", ARRIVALS),
+        ("systems", SYSTEMS),
+        ("paper policies", PAPER_POLICIES),
+    )
+    for index, (title, registry) in enumerate(sections):
+        if index:
+            print()
+        print(f"{title} ({len(registry)}):")
+        described = registry.describe()
+        width = max((len(name) for name in described), default=0)
+        for name, help_text in described.items():
+            line = " ".join(str(help_text).split())  # one line, always
+            print(f"  {name:<{width}}  {line}".rstrip())
+    return 0
+
+
 def _dispatch(args) -> int:
+    if args.command == "list":
+        return _cmd_list()
+
     if args.command == "bench":
         return _cmd_bench(args)
 

@@ -54,6 +54,10 @@ class TraceKind(str, enum.Enum):
     # -- online invariant checking -----------------------------------
     INVARIANT_VIOLATION = "invariant.violation"
 
+    # -- live serving sessions (repro.serve) -------------------------
+    SESSION_OPEN = "session.open"
+    SESSION_CLOSE = "session.close"
+
     # -- scheduler / stream dynamics ---------------------------------
     SCHED_REALLOC = "sched.realloc"
     STREAM_BUFFER_FULL = "stream.buffer_full"
@@ -84,6 +88,9 @@ KIND_FIELDS: Dict[TraceKind, tuple] = {
     TraceKind.SERVER_LINK_RESTORE: ("server",),
     TraceKind.SERVER_REPLICA_LOSS: ("server", "video", "orphans"),
     TraceKind.INVARIANT_VIOLATION: ("invariant", "subject", "detail"),
+    TraceKind.SESSION_OPEN: ("request", "video", "server", "peer"),
+    TraceKind.SESSION_CLOSE: ("request", "reason", "delivered_mb",
+                              "chunks"),
     TraceKind.SCHED_REALLOC: ("server", "allocator", "streams", "boosted"),
     TraceKind.STREAM_BUFFER_FULL: ("request", "server"),
     TraceKind.STREAM_UNDERRUN: ("request", "server"),

@@ -58,7 +58,13 @@ def load_scenario(path: Union[str, Path]) -> Scenario:
     except OSError as exc:
         raise ValueError(f"cannot read scenario {str(path)!r}: {exc}") from None
     except json.JSONDecodeError as exc:
+        # exc already carries "line L column C (char N)".
         raise ValueError(f"{path}: not valid JSON: {exc}") from None
+    except UnicodeDecodeError as exc:
+        raise ValueError(
+            f"{path}: not valid JSON: undecodable byte at offset "
+            f"{exc.start} ({exc.reason})"
+        ) from None
     if not isinstance(raw, dict):
         raise ValueError(
             f"{path}: a scenario must be a JSON object, "

@@ -1,0 +1,52 @@
+"""repro.serve — the live serving runtime (docs/SERVING.md).
+
+Every other layer of this repository runs in *virtual* time; this
+package mounts the same policy core — EFTF scheduling, minimum-flow
+admission, DRM migration — on wall-clock asyncio connections:
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON frames (with an
+  optional binary payload) spoken over TCP by every component;
+* :mod:`repro.serve.bridge` — :class:`~repro.serve.bridge.PolicyBridge`,
+  the seam that lets live mode and the simulator share one decision
+  path (the sim-vs-live parity contract);
+* :mod:`repro.serve.gateway` — the distribution-controller gateway:
+  admission API, per-server pacing tasks, graceful drain;
+* :mod:`repro.serve.loadgen` — a client/load-generator replaying
+  :mod:`repro.workload` arrival processes in real time with a
+  time-compression factor, maintaining a staging buffer and reporting
+  underruns.
+
+CLI surface: ``repro serve --scenario FILE`` and ``repro loadgen
+--scenario FILE`` (registered through the experiment registry; see
+:mod:`repro.experiments.live_serve`).
+"""
+
+from repro.serve.bridge import Decision, ParityError, PolicyBridge
+from repro.serve.config import ServeConfig
+from repro.serve.gateway import ClusterGateway
+from repro.serve.loadgen import LoadGenerator, LoadReport, SessionOutcome
+from repro.serve.protocol import (
+    Frame,
+    FrameError,
+    MAX_HEADER_BYTES,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "ClusterGateway",
+    "Decision",
+    "Frame",
+    "FrameError",
+    "LoadGenerator",
+    "LoadReport",
+    "MAX_HEADER_BYTES",
+    "ParityError",
+    "PolicyBridge",
+    "ServeConfig",
+    "SessionOutcome",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

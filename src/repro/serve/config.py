@@ -1,0 +1,132 @@
+"""Runtime knobs of the live serving layer.
+
+:class:`ServeConfig` is everything *wall-clock* about a live run — how
+virtual time maps onto real time, how often pacing ticks fire, the
+robustness bounds (timeouts, retries, drain deadline).  Everything
+*policy* about a run stays in :class:`repro.simulation.SimulationConfig`
+(the scenario file): the same committed scenario can be simulated or
+served live, and the decisions must not depend on which (the parity
+contract, docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serialize import check_fields, shallow_dict
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Wall-clock parameters of the gateway and load generator.
+
+    Attributes:
+        host: bind/connect address.
+        port: TCP port; 0 binds an ephemeral port (tests).
+        compression: virtual seconds per wall second.  At 40x a
+            75-virtual-second clip streams in under two wall seconds.
+        tick: pacing quantum, wall seconds — each server task wakes
+            every *tick* to refill token buckets and push chunks.
+        guard: how far (wall seconds) the pacer's engine advance lags
+            the wall clock.  Arrivals announce themselves within this
+            window, so the policy engine never advances past an
+            arrival's virtual time — the parity contract's safety
+            margin.  Must exceed *reorder_window*.
+        reorder_window: wall seconds an arrival is buffered before
+            admission so that near-simultaneous requests from separate
+            connections are processed in virtual-time order.
+        startup_slack: wall seconds between anchoring the virtual clock
+            (first arrival) and that arrival's due time.
+        bytes_per_megabit: payload scaling — how many real payload
+            bytes stand in for one megabit of video data.
+        handshake_timeout: wall seconds a new connection may take to
+            send its ``request`` frame before being dropped.
+        send_timeout: per-frame drain bound, wall seconds.
+        send_retries: bounded retries for a timed-out chunk send before
+            the session is declared dead (transient-failure budget).
+        drain_timeout: wall seconds :meth:`ClusterGateway.drain` waits
+            for in-flight sessions before force-closing them.
+        loadgen_duration: virtual seconds of arrivals the load
+            generator replays; ``None`` uses the scenario's
+            ``duration``.
+        max_sessions: optional hard cap on generated sessions.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    compression: float = 40.0
+    tick: float = 0.05
+    guard: float = 0.25
+    reorder_window: float = 0.1
+    startup_slack: float = 0.3
+    bytes_per_megabit: int = 64
+    handshake_timeout: float = 10.0
+    send_timeout: float = 5.0
+    send_retries: int = 3
+    drain_timeout: float = 15.0
+    loadgen_duration: Optional[float] = None
+    max_sessions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.compression <= 0:
+            raise ValueError(
+                f"compression must be positive, got {self.compression}"
+            )
+        if self.tick <= 0:
+            raise ValueError(f"tick must be positive, got {self.tick}")
+        if self.reorder_window < 0:
+            raise ValueError(
+                f"reorder_window must be >= 0, got {self.reorder_window}"
+            )
+        if self.guard <= self.reorder_window:
+            raise ValueError(
+                f"guard ({self.guard}) must exceed reorder_window "
+                f"({self.reorder_window}): the pacer may otherwise advance "
+                f"the policy engine past a buffered arrival"
+            )
+        if self.startup_slack < 0:
+            raise ValueError(
+                f"startup_slack must be >= 0, got {self.startup_slack}"
+            )
+        if self.bytes_per_megabit < 1:
+            raise ValueError(
+                f"bytes_per_megabit must be >= 1, got {self.bytes_per_megabit}"
+            )
+        if self.send_retries < 0:
+            raise ValueError(
+                f"send_retries must be >= 0, got {self.send_retries}"
+            )
+        for name in ("handshake_timeout", "send_timeout", "drain_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+        if self.loadgen_duration is not None and self.loadgen_duration <= 0:
+            raise ValueError(
+                f"loadgen_duration must be positive, got "
+                f"{self.loadgen_duration}"
+            )
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+
+    # -- virtual <-> wall conversions ----------------------------------
+    def to_virtual(self, wall_seconds: float) -> float:
+        """Wall duration -> virtual duration."""
+        return wall_seconds * self.compression
+
+    def to_wall(self, virtual_seconds: float) -> float:
+        """Virtual duration -> wall duration."""
+        return virtual_seconds / self.compression
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; round-trips via :meth:`from_dict`."""
+        return shallow_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeConfig":
+        """Build from a (possibly partial) dict; unknown keys raise."""
+        check_fields(cls, data)
+        return cls(**data)

@@ -1,0 +1,682 @@
+"""The cluster gateway: live admission + paced streaming over TCP.
+
+The gateway is the wall-clock incarnation of the paper's *distribution
+controller*.  One asyncio process runs:
+
+* an **acceptor** — a TCP listener whose per-connection handler reads
+  the client's ``request`` frame (bounded by
+  :attr:`ServeConfig.handshake_timeout`) and enqueues the arrival;
+* a **policy loop** — pops arrivals from a virtual-time-ordered heap
+  once their reorder window has elapsed and runs each through the
+  shared :class:`~repro.serve.bridge.PolicyBridge`, answering with an
+  ``admit`` or ``reject`` frame.  Between arrivals it advances the
+  policy engine to *guard* wall-seconds behind the wall clock (never
+  past a buffered arrival), firing the same EFTF boundary events a
+  virtual-time run would fire;
+* N **server tasks** (one per cluster server) — every
+  :attr:`ServeConfig.tick` each task integrates the EFTF workahead
+  schedule of its active sessions and feeds the delta into a per-session
+  token bucket, then drains the bucket as ``chunk`` frames whose payload
+  carries ``bytes_per_megabit`` real bytes per scheduled megabit.  The
+  schedule — not the network — is the shaper, so client staging buffers
+  behave exactly as in the simulator;
+* a **drain** path — on SIGTERM (wired by ``repro serve``) or
+  :meth:`ClusterGateway.stop`, new arrivals are rejected with reason
+  ``"draining"``, in-flight sessions run to completion (bounded by
+  :attr:`ServeConfig.drain_timeout`), and a provenance-stamped summary
+  is returned with every asyncio task joined.
+
+Virtual and wall clocks are affinely related: the clock anchors when
+the first arrival's frame is read, placing that arrival
+``startup_slack`` wall seconds in the future so its reorder window can
+close before its due time.  All parity-relevant reasoning lives in
+docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.cluster.request import Request, RequestState
+from repro.serve.bridge import Decision, ParityError, PolicyBridge
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import (
+    FrameError,
+    MAX_PAYLOAD_BYTES,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.simulation import SimulationConfig
+
+#: Below this many megabits a chunk is float noise, not data.
+_EPS_MB = 1e-9
+
+
+class _VirtualClock:
+    """Affine map between the event loop's clock and virtual time.
+
+    Unanchored until the first arrival: live runs have no natural t=0
+    before traffic exists, and anchoring on the first frame keeps the
+    startup slack independent of how long the process sat idle.
+    """
+
+    __slots__ = ("compression", "_t0")
+
+    def __init__(self, compression: float) -> None:
+        self.compression = compression
+        self._t0: Optional[float] = None
+
+    @property
+    def anchored(self) -> bool:
+        return self._t0 is not None
+
+    def anchor(self, virtual: float, wall: float, slack: float) -> None:
+        """Pin the map so ``wall_for(virtual) == wall + slack``."""
+        if self._t0 is None:
+            self._t0 = wall + slack - virtual / self.compression
+
+    def virtual(self, wall: float) -> float:
+        """Virtual time at event-loop time *wall* (>= 0)."""
+        if self._t0 is None:
+            return 0.0
+        return max(0.0, (wall - self._t0) * self.compression)
+
+    def wall_for(self, virtual: float) -> float:
+        """Event-loop time at which virtual time *virtual* occurs."""
+        assert self._t0 is not None, "clock not anchored"
+        return self._t0 + virtual / self.compression
+
+
+class _TokenBucket:
+    """Pacing credit for one session, refilled by the EFTF schedule.
+
+    Unlike a classic rate-limiter bucket there is no drop-on-overflow:
+    the credits *are* video data the schedule has already committed to,
+    so the capacity bound lives upstream (the scheduler never works
+    ahead past the client's staging headroom).  ``burst_mb`` only caps
+    how much leaves in a single frame.
+    """
+
+    __slots__ = ("tokens", "burst_mb")
+
+    def __init__(self, burst_mb: float) -> None:
+        self.tokens = 0.0
+        self.burst_mb = burst_mb
+
+    def credit(self, mb: float) -> None:
+        if mb > 0.0:
+            self.tokens += mb
+
+    def take(self) -> float:
+        """Withdraw up to one frame's worth of credit."""
+        mb = min(self.tokens, self.burst_mb)
+        self.tokens -= mb
+        return mb
+
+
+class _Arrival:
+    """One admission request parked in the reorder heap."""
+
+    __slots__ = ("time", "seq", "video", "writer", "opened")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        video: int,
+        writer: asyncio.StreamWriter,
+        opened: float,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.video = video
+        self.writer = writer
+        self.opened = opened
+
+    def order(self) -> Tuple[float, int]:
+        return (self.time, self.seq)
+
+
+class _Session:
+    """Gateway-side state of one admitted stream."""
+
+    __slots__ = (
+        "decision", "request", "writer", "bucket", "scheduled_mb",
+        "delivered_mb", "chunks", "send_failures", "server_id",
+        "migrations", "end_reason", "closed", "last_stamp",
+    )
+
+    def __init__(
+        self,
+        decision: Decision,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        burst_mb: float,
+    ) -> None:
+        self.decision = decision
+        self.request = request
+        self.writer = writer
+        self.bucket = _TokenBucket(burst_mb)
+        self.scheduled_mb = 0.0   # schedule integral mirrored so far
+        self.delivered_mb = 0.0   # megabits actually framed to the client
+        self.chunks = 0
+        self.send_failures = 0
+        self.server_id = request.server_id
+        self.migrations = 0
+        self.end_reason: Optional[str] = None
+        self.closed = False
+        self.last_stamp = decision.time  # virtual t of the last chunk
+
+
+class ClusterGateway:
+    """Serve a committed scenario's policy core on a TCP port.
+
+    Args:
+        config: the scenario (policy) configuration; decisions come from
+            the same :class:`~repro.simulation.Simulation` build a
+            virtual-time run would use.
+        serve: wall-clock runtime knobs; defaults are tuned for
+            loopback tests.
+        tracer: optional tracer; receives the policy core's records
+            plus ``session.open`` / ``session.close``.
+
+    Usage::
+
+        gateway = ClusterGateway(config, ServeConfig(port=0))
+        await gateway.start()
+        ...                       # clients connect to gateway.port
+        summary = await gateway.stop()
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        serve: Optional[ServeConfig] = None,
+        tracer: Optional[obs.Tracer] = None,
+    ) -> None:
+        self.config = config
+        self.serve = serve if serve is not None else ServeConfig()
+        self.tracer = tracer
+        self.bridge = PolicyBridge(config, tracer=tracer)
+        self.clock = _VirtualClock(self.serve.compression)
+        self.registry = self.bridge.sim.registry
+        self.sessions: Dict[int, _Session] = {}
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: List[asyncio.Task] = []
+        self._side_tasks: Set[asyncio.Task] = set()
+        self._pending: List[Tuple[Tuple[float, int], _Arrival]] = []
+        self._wake = asyncio.Event()
+        self._stopping = asyncio.Event()
+        self._draining = False
+        self._seq = 0
+        self._drain_rejects = 0
+        self._parity_clamps = 0
+        self._handshake_errors = 0
+
+        # One chunk per tick per session keeps frames bounded; the cap
+        # only binds after a stall (sends catch up over several ticks).
+        view_mb = config.system.view_bandwidth
+        self._burst_mb = min(
+            max(4.0 * self.serve.to_virtual(self.serve.tick) * view_mb, 1.0),
+            MAX_PAYLOAD_BYTES / self.serve.bytes_per_megabit,
+        )
+
+        reg = self.registry
+        reg.gauge("serve.sessions.active", supplier=lambda: len(self.sessions))
+        reg.gauge(
+            "serve.arrivals.pending", supplier=lambda: len(self._pending)
+        )
+        self._c_admits = reg.counter("serve.admits")
+        self._c_rejects = reg.counter("serve.rejects")
+        self._c_chunks = reg.counter("serve.chunks")
+        self._c_chunk_mb = reg.counter("serve.chunk_megabits")
+        self._c_retries = reg.counter("serve.send_retries")
+        self._h_buffer = reg.histogram("serve.client_buffer_mb")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the policy and server loops."""
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.serve.host, port=self.serve.port
+        )
+        loop = asyncio.get_running_loop()
+        self._tasks.append(
+            loop.create_task(self._policy_loop(), name="serve.policy")
+        )
+        for sid in self.bridge.controller.servers:
+            self._tasks.append(
+                loop.create_task(
+                    self._server_loop(sid), name=f"serve.server.{sid}"
+                )
+            )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``ServeConfig(port=0)``)."""
+        assert self._server is not None, "gateway not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    def begin_drain(self) -> None:
+        """Stop admitting; keep pacing.  Idempotent, sync (signal-safe)."""
+        self._draining = True
+        self._wake.set()
+
+    async def drain(self) -> None:
+        """Wait for in-flight sessions to finish (bounded), then force-
+        close the stragglers with an ``end reason="drained"`` frame."""
+        self.begin_drain()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.serve.drain_timeout
+        while self.sessions and loop.time() < deadline:
+            await asyncio.sleep(self.serve.tick)
+        for session in list(self.sessions.values()):
+            await self._close_session(session, "drained", notify=True)
+
+    async def stop(self) -> Dict[str, Any]:
+        """Drain, tear everything down, and return the run summary.
+
+        Safe to call exactly once; afterwards no task, transport or
+        listener created by the gateway remains alive.
+        """
+        await self.drain()
+        self._stopping.set()
+        self._wake.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._tasks:
+            await task
+        # Connection handlers park on their client's EOF; closing the
+        # transports (done in _close_session) unblocks them.
+        for task in list(self._side_tasks):
+            try:
+                await asyncio.wait_for(task, self.serve.drain_timeout)
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                task.cancel()
+        return self.summary()
+
+    # ------------------------------------------------------------------
+    # Acceptor
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._side_tasks.add(task)
+            task.add_done_callback(self._side_tasks.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            frame = await read_frame(
+                reader, timeout=self.serve.handshake_timeout
+            )
+        except (FrameError, asyncio.TimeoutError, ConnectionError, OSError):
+            self._handshake_errors += 1
+            return
+        if frame is None or frame.type != "request":
+            self._handshake_errors += 1
+            return
+        try:
+            video = int(frame.header["video"])
+            time = float(frame.header["t"])
+        except (KeyError, TypeError, ValueError):
+            self._handshake_errors += 1
+            await self._try_send(
+                writer, {"type": "reject", "reason": "malformed request"}
+            )
+            return
+
+        now = loop.time()
+        self.clock.anchor(time, now, self.serve.startup_slack)
+        self._seq += 1
+        arrival = _Arrival(time, self._seq, video, writer, now)
+        heapq.heappush(self._pending, (arrival.order(), arrival))
+        self._wake.set()
+
+        # Park until the session (or a reject) closes the transport;
+        # reading also notices a client that hangs up early.
+        try:
+            while True:
+                tail = await read_frame(reader)
+                if tail is None:
+                    break
+        except (FrameError, ConnectionError, OSError):
+            pass
+        session = self.sessions.get(arrival.seq)
+        if session is not None:
+            await self._close_session(session, "client_closed", notify=False)
+
+    # ------------------------------------------------------------------
+    # Policy loop
+    # ------------------------------------------------------------------
+    async def _policy_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopping.is_set():
+            timeout = self.serve.tick
+            if self._pending:
+                due = (
+                    self.clock.wall_for(self._pending[0][1].time)
+                    + self.serve.reorder_window
+                )
+                timeout = min(timeout, max(0.0, due - loop.time()))
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+                self._wake.clear()
+            except asyncio.TimeoutError:
+                pass
+
+            while self._pending:
+                arrival = self._pending[0][1]
+                due = (
+                    self.clock.wall_for(arrival.time)
+                    + self.serve.reorder_window
+                )
+                if loop.time() < due and not self._draining:
+                    break
+                heapq.heappop(self._pending)
+                self._process_arrival(arrival)
+
+            # Lagged pacing advance: fire EFTF boundary events up to
+            # `guard` wall-seconds behind the wall clock, but never past
+            # a still-buffered arrival (the parity guard).
+            if self.clock.anchored and not self._stopping.is_set():
+                safe_vt = self.clock.virtual(loop.time() - self.serve.guard)
+                if self._pending:
+                    safe_vt = min(safe_vt, self._pending[0][1].time)
+                self.bridge.advance(safe_vt)
+
+    def _process_arrival(self, arrival: _Arrival) -> None:
+        if self._draining:
+            self._drain_rejects += 1
+            self._c_rejects.inc()
+            self._respond(
+                arrival.writer,
+                {"type": "reject", "reason": "draining", "t": arrival.time},
+                close=True,
+            )
+            return
+        time = arrival.time
+        if time < self.bridge.now:
+            # An arrival outran the guard window (pathological wall-
+            # clock stall).  Clamp to "now" so service continues, and
+            # count it — the parity test asserts this stays at zero.
+            self._parity_clamps += 1
+            time = self.bridge.now
+        try:
+            decision = self.bridge.submit(time, arrival.video)
+        except ParityError:  # pragma: no cover - clamped above
+            self._handshake_errors += 1
+            self._respond(
+                arrival.writer,
+                {"type": "reject", "reason": "internal error"},
+                close=True,
+            )
+            return
+
+        if not decision.accepted:
+            self._c_rejects.inc()
+            self._respond(
+                arrival.writer,
+                {
+                    "type": "reject",
+                    "reason": decision.outcome,
+                    "t": decision.time,
+                    "request": decision.request,
+                },
+                close=True,
+            )
+            return
+
+        request = self.bridge.request_of(decision)
+        assert request is not None, "accepted request missing from cluster"
+        session = _Session(decision, request, arrival.writer, self._burst_mb)
+        self.sessions[arrival.seq] = session
+        self._c_admits.inc()
+        if self.tracer is not None:
+            peer = arrival.writer.get_extra_info("peername")
+            self.tracer.emit(
+                obs.TraceKind.SESSION_OPEN,
+                decision.time,
+                request=decision.request,
+                video=decision.video,
+                server=decision.server,
+                peer=str(peer[1]) if peer else "?",
+            )
+        self._respond(
+            arrival.writer,
+            {
+                "type": "admit",
+                "t": decision.time,
+                "request": decision.request,
+                "video": decision.video,
+                "server": decision.server,
+                "size_mb": round(request.video.size, 9),
+                "view_mb_s": request.view_bandwidth,
+                "migrated": decision.migrations > 0,
+            },
+        )
+
+    def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        header: Dict[str, Any],
+        close: bool = False,
+    ) -> None:
+        """Send a control frame from the (sync) policy path.
+
+        The bytes go to the transport *synchronously* so a pacing chunk
+        scheduled in the same tick can never overtake the ``admit``
+        frame; only the drain (backpressure) is deferred to a task.
+        """
+        try:
+            writer.write(encode_frame(header))
+        except (ConnectionError, OSError):  # pragma: no cover - racy peer
+            return
+
+        async def _flush() -> None:
+            try:
+                await asyncio.wait_for(
+                    writer.drain(), self.serve.send_timeout
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                pass
+            if close:
+                writer.close()
+
+        task = asyncio.get_running_loop().create_task(_flush())
+        self._side_tasks.add(task)
+        task.add_done_callback(self._side_tasks.discard)
+
+    async def _try_send(
+        self,
+        writer: asyncio.StreamWriter,
+        header: Dict[str, Any],
+        payload: bytes = b"",
+    ) -> bool:
+        """One bounded-retry send; True when the frame was drained."""
+        for attempt in range(self.serve.send_retries + 1):
+            try:
+                await write_frame(
+                    writer, header, payload, timeout=self.serve.send_timeout
+                )
+                return True
+            except asyncio.TimeoutError:
+                # Transient backpressure: retry within the bounded
+                # budget (the next drain sees the same buffered bytes).
+                if attempt < self.serve.send_retries:
+                    self._c_retries.inc()
+                continue
+            except (ConnectionError, OSError):
+                return False
+        return False
+
+    # ------------------------------------------------------------------
+    # Server tasks (data plane)
+    # ------------------------------------------------------------------
+    async def _server_loop(self, server_id: int) -> None:
+        """Pace every session currently hosted by *server_id*.
+
+        Sessions follow their request's ``server_id``, so a DRM
+        migration hands the stream to the target server's task at the
+        next tick — the live analogue of the switch gap.
+        """
+        while not self._stopping.is_set():
+            await asyncio.sleep(self.serve.tick)
+            if not self.clock.anchored:
+                continue
+            now_vt = self.bridge.now
+            for key, session in list(self.sessions.items()):
+                request = session.request
+                owner = (
+                    request.server_id
+                    if request.server_id is not None
+                    else session.server_id
+                )
+                if owner != server_id or session.closed:
+                    continue
+                if request.server_id is not None and (
+                    request.server_id != session.server_id
+                ):
+                    session.migrations += 1
+                    session.server_id = request.server_id
+                await self._pump_session(session, now_vt)
+
+    async def _pump_session(self, session: _Session, now_vt: float) -> None:
+        request = session.request
+        # The EFTF schedule integral at now_vt: between boundary events
+        # the rate is constant, so this equals what Request.sync() will
+        # record when the engine reaches now_vt.
+        scheduled = min(
+            request.video.size,
+            request.bytes_sent
+            + max(0.0, request.rate) * max(0.0, now_vt - request.last_sync),
+        )
+        session.bucket.credit(scheduled - session.scheduled_mb)
+        session.scheduled_mb = max(session.scheduled_mb, scheduled)
+
+        # Drain the whole bucket this tick (several burst-capped frames
+        # after a wall-clock stall, one in steady state).  Stamping: the
+        # frame that empties the bucket carries ``now_vt`` — at that
+        # point cumulative delivery equals the schedule integral, which
+        # EFTF keeps ahead of playback; earlier catch-up frames reuse
+        # the previous stamp, where the same invariant already held with
+        # *less* data delivered.  Client-side underrun accounting thus
+        # cannot trip on event-loop jitter, only on a gateway that
+        # genuinely under-scheduled.
+        while True:
+            mb = session.bucket.take()
+            if mb <= _EPS_MB:
+                break
+            if session.bucket.tokens <= _EPS_MB:
+                session.last_stamp = now_vt
+            payload = b"\x00" * max(
+                1, int(mb * self.serve.bytes_per_megabit)
+            )
+            ok = await self._try_send(
+                session.writer,
+                {
+                    "type": "chunk",
+                    "t": round(session.last_stamp, 9),
+                    "server": session.server_id,
+                    "mb": round(mb, 9),
+                    "seq": session.chunks,
+                },
+                payload,
+            )
+            if not ok:
+                await self._close_session(session, "send_failed", notify=False)
+                return
+            session.chunks += 1
+            session.delivered_mb += mb
+            self._c_chunks.inc()
+            self._c_chunk_mb.inc(mb)
+
+        if request.state is RequestState.DROPPED:
+            await self._close_session(session, "dropped", notify=True)
+        elif (
+            request.state is RequestState.FINISHED
+            and session.bucket.tokens <= _EPS_MB
+            and session.scheduled_mb >= request.video.size - _EPS_MB
+        ):
+            self._h_buffer.observe(request.buffer_occupancy(now_vt))
+            await self._close_session(session, "finished", notify=True)
+
+    async def _close_session(
+        self, session: _Session, reason: str, notify: bool
+    ) -> None:
+        if session.closed:
+            return
+        session.closed = True
+        session.end_reason = reason
+        for key, value in list(self.sessions.items()):
+            if value is session:
+                del self.sessions[key]
+        if notify:
+            await self._try_send(
+                session.writer,
+                {
+                    "type": "end",
+                    "reason": reason,
+                    "request": session.decision.request,
+                    "delivered_mb": round(session.delivered_mb, 9),
+                    "chunks": session.chunks,
+                },
+            )
+        session.writer.close()
+        if self.tracer is not None:
+            self.tracer.emit(
+                obs.TraceKind.SESSION_CLOSE,
+                self.bridge.now,
+                request=session.decision.request,
+                reason=reason,
+                delivered_mb=round(session.delivered_mb, 9),
+                chunks=session.chunks,
+            )
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Provenance-stamped summary of the live run (JSON-ready)."""
+        policy = self.bridge.finalize()
+        return {
+            "provenance": obs.run_provenance(
+                seed=self.config.seed,
+                config=self.config,
+                extra={"mode": "serve", "serve": self.serve.to_dict()},
+            ),
+            "policy": policy,
+            "serve": {
+                "admits": int(self._c_admits.value),
+                "rejects": int(self._c_rejects.value),
+                "drain_rejects": self._drain_rejects,
+                "chunks": int(self._c_chunks.value),
+                "chunk_megabits": round(self._c_chunk_mb.value, 6),
+                "send_retries": int(self._c_retries.value),
+                "parity_clamps": self._parity_clamps,
+                "handshake_errors": self._handshake_errors,
+                "open_sessions": len(self.sessions),
+            },
+            "decisions": [d.to_wire() for d in self.bridge.decisions],
+        }

@@ -1,0 +1,319 @@
+"""Load generator: live clients replaying a workload arrival process.
+
+The client side of docs/SERVING.md.  :func:`arrival_trace` materialises
+the same calibrated Poisson/Zipf workload the simulator would generate
+for a scenario (same seed-derived substreams, same catalog calibration,
+via :mod:`repro.workload`); :class:`LoadGenerator` replays it in wall
+time — each arrival's virtual time divided by the compression factor —
+opening one TCP connection per request.
+
+Each :class:`_LiveClient` models the paper's client: it requests a
+video, and on admission maintains a **staging buffer** filled by the
+gateway's paced chunks and drained by playback at the view bandwidth.
+Underrun accounting runs in *virtual* time using the chunk frames'
+embedded timestamps, so a verdict of "zero underruns" reflects the
+schedule the gateway actually produced, not the wall-clock jitter of a
+busy CI host: at each chunk the client checks that the data delivered
+so far covers playback up to that chunk's virtual time (playback
+starting at the first chunk).  Under EFTF's minimum-flow guarantee the
+transmitted prefix always covers playback from admission, so a
+correctly paced gateway can never trip it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import FrameError, read_frame, write_frame
+from repro.sim.rng import RandomStreams
+from repro.simulation import SimulationConfig
+from repro.workload.arrivals import calibrated_arrival_rate
+from repro.workload.catalog import make_catalog
+from repro.workload.trace import RequestSpec, Trace, generate_trace
+from repro.workload.zipf import ZipfPopularity
+
+#: Playback-coverage slack, Mb: absorbs float noise in chunk accounting.
+_EPS_MB = 1e-6
+
+
+def arrival_trace(
+    config: SimulationConfig,
+    duration: Optional[float] = None,
+    max_sessions: Optional[int] = None,
+) -> Trace:
+    """The workload a scenario implies, materialised for live replay.
+
+    Built from the scenario's own seed and calibration — catalog,
+    Zipf(θ) demand and load-calibrated Poisson rate — through the same
+    :mod:`repro.workload` helpers the simulator uses, on a dedicated
+    RNG substream so generating a trace never perturbs a simulation of
+    the same seed.
+    """
+    streams = RandomStreams(seed=config.seed)
+    system = config.system
+    catalog = make_catalog(
+        system.n_videos,
+        system.video_length_range,
+        streams.get("catalog"),
+        view_bandwidth=system.view_bandwidth,
+    )
+    popularity = ZipfPopularity(system.n_videos, config.theta)
+    rate = calibrated_arrival_rate(
+        popularity, catalog, system.total_bandwidth, load=config.load
+    )
+    trace = generate_trace(
+        duration if duration is not None else config.duration,
+        rate,
+        popularity,
+        streams.get("serve.trace"),
+    )
+    if max_sessions is not None and len(trace) > max_sessions:
+        trace = Trace(trace.requests[:max_sessions])
+    return trace
+
+
+@dataclass
+class SessionOutcome:
+    """One live session as the client experienced it."""
+
+    index: int                      #: position in the trace
+    time: float                     #: virtual arrival time
+    video: int
+    outcome: str                    #: admission outcome / error class
+    request: Optional[int] = None   #: cluster request id (from admit)
+    server: Optional[int] = None    #: first hosting server
+    reason: Optional[str] = None    #: reject reason or end reason
+    size_mb: float = 0.0
+    delivered_mb: float = 0.0       #: megabits received in chunk frames
+    payload_bytes: int = 0          #: raw payload bytes received
+    chunks: int = 0
+    migrations: int = 0             #: observed server handoffs
+    underruns: int = 0              #: staging-buffer misses (virtual)
+    max_buffer_mb: float = 0.0      #: peak staging occupancy seen
+    wall_seconds: float = 0.0
+
+    @property
+    def accepted(self) -> bool:
+        return self.outcome in ("accepted", "accepted_with_migration")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "t": round(self.time, 9),
+            "video": self.video,
+            "outcome": self.outcome,
+            "request": self.request,
+            "server": self.server,
+            "reason": self.reason,
+            "size_mb": round(self.size_mb, 6),
+            "delivered_mb": round(self.delivered_mb, 6),
+            "payload_bytes": self.payload_bytes,
+            "chunks": self.chunks,
+            "migrations": self.migrations,
+            "underruns": self.underruns,
+            "max_buffer_mb": round(self.max_buffer_mb, 6),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load-generator run."""
+
+    sessions: List[SessionOutcome] = field(default_factory=list)
+    peak_concurrency: int = 0
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for s in self.sessions if s.accepted)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for s in self.sessions if s.outcome == "rejected")
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for s in self.sessions if s.outcome == "error")
+
+    @property
+    def underruns(self) -> int:
+        return sum(s.underruns for s in self.sessions)
+
+    @property
+    def delivered_mb(self) -> float:
+        return sum(s.delivered_mb for s in self.sessions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sessions": len(self.sessions),
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "underruns": self.underruns,
+            "delivered_mb": round(self.delivered_mb, 6),
+            "peak_concurrency": self.peak_concurrency,
+            "outcomes": [s.to_dict() for s in self.sessions],
+        }
+
+
+class _LiveClient:
+    """One connection: request, then buffer-and-play until ``end``."""
+
+    def __init__(
+        self, serve: ServeConfig, index: int, spec: RequestSpec
+    ) -> None:
+        self.serve = serve
+        self.index = index
+        self.spec = spec
+        self.outcome = SessionOutcome(
+            index=index, time=spec.time, video=spec.video_id, outcome="error"
+        )
+
+    async def run(self) -> SessionOutcome:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            reader, writer = await asyncio.open_connection(
+                self.serve.host, self.serve.port
+            )
+        except (ConnectionError, OSError) as exc:
+            self.outcome.reason = f"connect: {exc}"
+            return self.outcome
+        try:
+            await self._session(reader, writer)
+        except (FrameError, ConnectionError, OSError) as exc:
+            self.outcome.outcome = "error"
+            self.outcome.reason = f"{type(exc).__name__}: {exc}"
+        except asyncio.TimeoutError:
+            self.outcome.outcome = "error"
+            self.outcome.reason = "timeout waiting for gateway"
+        finally:
+            self.outcome.wall_seconds = loop.time() - started
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        return self.outcome
+
+    async def _session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        out = self.outcome
+        await write_frame(
+            writer,
+            {
+                "type": "request",
+                "video": self.spec.video_id,
+                "t": round(self.spec.time, 9),
+            },
+            timeout=self.serve.send_timeout,
+        )
+        # Admission may lag by startup slack + reorder window + queueing.
+        frame = await read_frame(reader, timeout=self.serve.handshake_timeout)
+        if frame is None:
+            out.reason = "gateway closed before answering"
+            return
+        if frame.type == "reject":
+            out.outcome = "rejected"
+            out.reason = str(frame.header.get("reason"))
+            out.request = frame.header.get("request")
+            return
+        if frame.type != "admit":
+            out.reason = f"unexpected frame {frame.type!r}"
+            return
+
+        out.outcome = "accepted"
+        out.request = frame.header.get("request")
+        out.server = frame.header.get("server")
+        out.size_mb = float(frame.header.get("size_mb", 0.0))
+        if frame.header.get("migrated"):
+            out.outcome = "accepted_with_migration"
+        view_mb = float(frame.header.get("view_mb_s", 0.0))
+
+        playback_t0: Optional[float] = None  # virtual playback origin
+        last_server = out.server
+        while True:
+            frame = await read_frame(
+                reader, timeout=self.serve.handshake_timeout
+            )
+            if frame is None:
+                out.reason = "disconnected"
+                return
+            if frame.type == "chunk":
+                t = float(frame.header.get("t", 0.0))
+                out.delivered_mb += float(frame.header.get("mb", 0.0))
+                out.payload_bytes += len(frame.payload)
+                out.chunks += 1
+                server = frame.header.get("server")
+                if server != last_server:
+                    out.migrations += 1
+                    last_server = server
+                if playback_t0 is None:
+                    playback_t0 = t
+                # Staging-buffer model, virtual time: playback has
+                # consumed view_mb * (t - t0); everything delivered
+                # beyond that is buffered.
+                played = min(out.size_mb, view_mb * (t - playback_t0))
+                buffered = out.delivered_mb - played
+                if buffered < -_EPS_MB:
+                    out.underruns += 1
+                out.max_buffer_mb = max(out.max_buffer_mb, buffered)
+            elif frame.type == "end":
+                out.reason = str(frame.header.get("reason"))
+                return
+            else:
+                out.reason = f"unexpected frame {frame.type!r}"
+                return
+
+
+class LoadGenerator:
+    """Replay a trace against a gateway, one live client per arrival.
+
+    Args:
+        serve: wall-clock knobs; must match the gateway's ``host``,
+            ``port`` and ``compression``.
+        trace: the arrival trace to replay; build one with
+            :func:`arrival_trace` to reproduce a scenario's workload.
+    """
+
+    def __init__(self, serve: ServeConfig, trace: Trace) -> None:
+        self.serve = serve
+        self.trace = trace
+        self._active = 0
+        self._peak = 0
+
+    async def _client(self, index: int, spec: RequestSpec) -> SessionOutcome:
+        self._active += 1
+        self._peak = max(self._peak, self._active)
+        try:
+            return await _LiveClient(self.serve, index, spec).run()
+        finally:
+            self._active -= 1
+
+    async def run(self) -> LoadReport:
+        """Dispatch every arrival at its compressed wall time; gather
+        all session outcomes (the report preserves trace order)."""
+        loop = asyncio.get_running_loop()
+        if not len(self.trace):
+            return LoadReport()
+        # Wall origin such that the first arrival fires immediately;
+        # the gateway re-anchors on that first frame anyway.
+        first_vt = self.trace[0].time
+        t0 = loop.time()
+        tasks: List[asyncio.Task] = []
+        for index, spec in enumerate(self.trace):
+            due = t0 + self.serve.to_wall(spec.time - first_vt)
+            delay = due - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(
+                loop.create_task(
+                    self._client(index, spec), name=f"loadgen.{index}"
+                )
+            )
+        sessions = list(await asyncio.gather(*tasks))
+        return LoadReport(sessions=sessions, peak_concurrency=self._peak)

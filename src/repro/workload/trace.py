@@ -122,14 +122,32 @@ class Trace:
 
     @classmethod
     def load_csv(cls, path: Union[str, Path]) -> "Trace":
-        """Read a trace written by :meth:`save_csv`."""
+        """Read a trace written by :meth:`save_csv`.
+
+        Raises:
+            ValueError: naming the file and 1-based line number for a
+                truncated or otherwise corrupt row (a partially written
+                trace must not replay silently shortened).
+        """
         requests: List[RequestSpec] = []
         with open(path, newline="") as fh:
             reader = csv.DictReader(fh)
-            for row in reader:
-                requests.append(
-                    RequestSpec(float(row["time"]), int(row["video_id"]))
+            if reader.fieldnames != ["time", "video_id"]:
+                raise ValueError(
+                    f"{path}: expected header 'time,video_id', "
+                    f"got {reader.fieldnames!r}"
                 )
+            # DictReader line numbers start after the header row.
+            for row in reader:
+                try:
+                    time = float(row["time"])
+                    video_id = int(row["video_id"])
+                    requests.append(RequestSpec(time, video_id))
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"{path}: line {reader.line_num}: corrupt or "
+                        f"truncated trace row {row!r}: {exc}"
+                    ) from None
         return cls(requests)
 
     # ------------------------------------------------------------------

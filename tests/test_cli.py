@@ -248,3 +248,69 @@ class TestObservabilityCLI:
         assert "Figure 5" in captured.out
         assert "utilization=" in captured.err
         assert "theta=" not in captured.out
+
+
+class TestListCommand:
+    def test_list_prints_every_registry_section(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in (
+            "experiments", "chaos experiments", "allocators",
+            "placements", "arrivals", "systems", "paper policies",
+        ):
+            assert f"{section} (" in out
+
+    def test_list_is_registry_driven(self, capsys):
+        """Every registered name appears — no hand-maintained listing."""
+        from repro.cluster.system import SYSTEMS
+        from repro.core.policies import PAPER_POLICIES
+        from repro.experiments.registry import EXPERIMENTS
+        from repro.placement import PLACEMENTS
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for registry in (EXPERIMENTS, PLACEMENTS, SYSTEMS, PAPER_POLICIES):
+            for name in registry.names():
+                assert name in out
+
+    def test_list_includes_help_strings(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        # Spot-check: help text rides along with the names.
+        assert "serve" in out
+        assert "loadgen" in out
+
+    def test_list_help_is_single_line_per_entry(self, capsys):
+        assert main(["list"]) == 0
+        for line in capsys.readouterr().out.splitlines():
+            if line.startswith("  "):
+                # entry lines: name column, two-space gap, one-line help
+                assert "\n" not in line and line.strip()
+
+
+class TestScenarioErrorPath:
+    def test_run_invalid_scenario_json_is_one_actionable_line(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": nope}')
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--scenario", str(bad)])
+        message = str(err.value)
+        assert "\n" not in message
+        assert str(bad) in message
+        assert "line 1 column 10" in message
+
+    def test_run_missing_scenario_file_names_path(self, tmp_path):
+        absent = tmp_path / "absent.json"
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--scenario", str(absent)])
+        assert str(absent) in str(err.value)
+
+    def test_run_scenario_conflicting_flags_rejected(self, tmp_path):
+        bad = tmp_path / "any.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit, match="--theta"):
+            main([
+                "run", "--scenario", str(bad), "--theta", "0.5",
+            ])

@@ -363,3 +363,23 @@ class TestGoldenScenario:
         with pytest.raises(SystemExit) as exc:
             main(["run", "--scenario", str(path)])
         assert "not valid JSON" in str(exc.value)
+
+    def test_invalid_json_error_names_parse_position(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": nope}')
+        with pytest.raises(ValueError) as err:
+            load_scenario(path)
+        message = str(err.value)
+        assert "\n" not in message, "must be a one-line, pasteable error"
+        assert str(path) in message
+        assert "line 1 column 10" in message
+
+    def test_undecodable_bytes_error_names_offset(self, tmp_path):
+        path = tmp_path / "binary.json"
+        path.write_bytes(b'{"name": "\xff\xfe"}')
+        with pytest.raises(ValueError) as err:
+            load_scenario(path)
+        message = str(err.value)
+        assert "\n" not in message
+        assert str(path) in message
+        assert "offset 10" in message

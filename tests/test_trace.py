@@ -141,3 +141,94 @@ class TestGenerateTrace:
             generate_trace(0.0, 1.0, pop, rng)
         with pytest.raises(ValueError):
             generate_trace(10.0, 0.0, pop, rng)
+
+
+class TestDeterminism:
+    """Same seed => byte-identical trace (the live-serving parity chain
+    starts here: gateway and replay must derive the same workload)."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 21, 1234])
+    def test_same_seed_same_sequence(self, seed):
+        pop = ZipfPopularity(12, -0.8)
+        a = generate_trace(200.0, 0.7, pop, np.random.default_rng(seed))
+        b = generate_trace(200.0, 0.7, pop, np.random.default_rng(seed))
+        assert len(a) == len(b)
+        assert all(
+            x.time == y.time and x.video_id == y.video_id
+            for x, y in zip(a, b)
+        )
+
+    def test_different_seeds_differ(self):
+        pop = ZipfPopularity(12, -0.8)
+        a = generate_trace(200.0, 0.7, pop, np.random.default_rng(1))
+        b = generate_trace(200.0, 0.7, pop, np.random.default_rng(2))
+        assert [(r.time, r.video_id) for r in a] != [
+            (r.time, r.video_id) for r in b
+        ]
+
+    def test_save_load_replays_identically(self, tmp_path, rng):
+        """CSV persistence must not perturb a replay: scheduling the
+        loaded trace fires the same (time, video) sequence."""
+        pop = ZipfPopularity(5, -0.5)
+        trace = generate_trace(50.0, 1.0, pop, rng)
+        path = tmp_path / "replay.csv"
+        trace.save_csv(path)
+        loaded = Trace.load_csv(path)
+
+        def fire(t):
+            engine = Engine()
+            seen = []
+            t.schedule_on(engine, lambda vid: seen.append((engine.now, vid)))
+            engine.run()
+            return seen
+
+        original, replayed = fire(trace), fire(loaded)
+        assert len(original) == len(replayed)
+        for (ta, va), (tb, vb) in zip(original, replayed):
+            assert ta == pytest.approx(tb, abs=1e-6)
+            assert va == vb
+
+
+class TestLoadCsvErrors:
+    """A partially written trace must fail loudly, not replay shortened."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "trace.csv"
+        path.write_text(text)
+        return path
+
+    def test_truncated_row_regression(self, tmp_path, rng):
+        pop = ZipfPopularity(5, 0.0)
+        trace = generate_trace(100.0, 1.0, pop, rng)
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        # Chop the file mid-row, as an interrupted writer would.
+        text = path.read_text()
+        path.write_text(text[: text.rfind(",") + 1])
+        with pytest.raises(ValueError, match=r"trace\.csv: line \d+"):
+            Trace.load_csv(path)
+
+    def test_missing_field_names_line(self, tmp_path):
+        path = self._write(tmp_path, "time,video_id\n1.0,3\n2.0\n")
+        with pytest.raises(ValueError, match="line 3"):
+            Trace.load_csv(path)
+
+    def test_non_numeric_row(self, tmp_path):
+        path = self._write(tmp_path, "time,video_id\noops,3\n")
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            Trace.load_csv(path)
+
+    def test_wrong_header_named(self, tmp_path):
+        path = self._write(tmp_path, "when,what\n1.0,3\n")
+        with pytest.raises(ValueError, match="expected header"):
+            Trace.load_csv(path)
+
+    def test_negative_values_rejected(self, tmp_path):
+        path = self._write(tmp_path, "time,video_id\n-1.0,3\n")
+        with pytest.raises(ValueError, match="line 2"):
+            Trace.load_csv(path)
+
+    def test_empty_file_is_just_a_bad_header(self, tmp_path):
+        path = self._write(tmp_path, "")
+        with pytest.raises(ValueError, match="expected header"):
+            Trace.load_csv(path)
