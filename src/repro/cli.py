@@ -234,11 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _ensure_writable(path: str) -> None:
     """Fail fast (before simulating for minutes) on an unwritable path."""
-    try:
-        with open(path, "a"):
-            pass
-    except OSError as exc:
-        raise SystemExit(f"cannot write trace output {path!r}: {exc}")
+    obs.check_trace_path(path, flag="--trace-out")
 
 
 def _cmd_trace(args) -> int:

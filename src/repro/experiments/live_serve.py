@@ -64,6 +64,21 @@ def _serve_arguments(p: argparse.ArgumentParser) -> None:
         "--trace-out", default=None, metavar="PATH",
         help="append structured trace records (JSONL) to PATH",
     )
+    p.add_argument(
+        "--ops-port", type=int, default=0, metavar="PORT",
+        help="TCP port of the live telemetry (ops) endpoint; 0 binds an "
+             "ephemeral port (printed in the banner), negative disables",
+    )
+    p.add_argument(
+        "--postmortem", default="repro-postmortem.jsonl", metavar="PATH",
+        help="flight-recorder dump file — written on SIGUSR2, invariant "
+             "violation, or gateway crash (default %(default)s)",
+    )
+    p.add_argument(
+        "--stats-interval", type=float, default=1.0, metavar="SECONDS",
+        help="wall seconds between serve.stats trace samples "
+             "(the `repro top --trace` time series; default %(default)s)",
+    )
 
 
 def _loadgen_arguments(p: argparse.ArgumentParser) -> None:
@@ -76,6 +91,15 @@ def _loadgen_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--max-sessions", type=int, default=None,
         help="hard cap on the number of sessions generated",
+    )
+    p.add_argument(
+        "--progress-interval", type=float, default=2.0, metavar="SECONDS",
+        help="wall seconds between one-line progress reports on stderr "
+             "(default %(default)s)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the periodic progress reports",
     )
 
 
@@ -93,10 +117,30 @@ def _scenario(path: Optional[str], command: str) -> Scenario:
 # ----------------------------------------------------------------------
 async def _serve_async(scenario: Scenario, args: argparse.Namespace) -> int:
     serve = ServeConfig(
-        host=args.host, port=args.port, compression=args.compression
+        host=args.host,
+        port=args.port,
+        compression=args.compression,
+        ops_port=None if args.ops_port < 0 else args.ops_port,
+        stats_interval=args.stats_interval,
     )
-    tracer = obs.Tracer() if args.trace_out else None
+    if args.trace_out:
+        obs.check_trace_path(args.trace_out)
+    # The tracer is always on: its ring is the flight recorder's data
+    # source and the ops endpoint's span feed.  --trace-out only
+    # controls whether the ring is exported at shutdown.
+    tracer = obs.Tracer()
     gateway = ClusterGateway(scenario.config, serve, tracer=tracer)
+    recorder = obs.FlightRecorder(
+        tracer,
+        args.postmortem,
+        provenance=obs.run_provenance(
+            seed=scenario.config.seed,
+            config=scenario.config,
+            extra={"mode": "serve", "scenario": scenario.name},
+        ),
+        state=gateway.registry.snapshot,
+    )
+    gateway.recorder = recorder
     await gateway.start()
 
     stop = asyncio.Event()
@@ -108,12 +152,18 @@ async def _serve_async(scenario: Scenario, args: argparse.Namespace) -> int:
         except NotImplementedError:  # pragma: no cover - non-POSIX
             signals = ()
             break
+    recorder.install_signal_handler(loop=loop)
+    ops_note = (
+        f"ops on {serve.host}:{gateway.ops_port}"
+        if gateway.ops is not None
+        else "ops disabled"
+    )
     print(
         f"serving scenario {scenario.name!r} on "
         f"{serve.host}:{gateway.port} "
-        f"(compression {serve.compression:g}x; "
+        f"({ops_note}; compression {serve.compression:g}x; "
         f"{len(gateway.bridge.controller.servers)} servers) — "
-        f"SIGTERM drains gracefully",
+        f"SIGTERM drains gracefully, SIGUSR2 dumps {args.postmortem}",
         file=sys.stderr,
         flush=True,
     )
@@ -127,9 +177,10 @@ async def _serve_async(scenario: Scenario, args: argparse.Namespace) -> int:
     finally:
         for sig in signals:
             loop.remove_signal_handler(sig)
+        recorder.uninstall_signal_handler()
 
     summary = await gateway.stop()
-    if tracer is not None:
+    if args.trace_out:
         tracer.export_jsonl(args.trace_out, provenance=summary["provenance"])
     print(json.dumps(summary, indent=2, sort_keys=True, default=str))
     return 0
@@ -153,6 +204,7 @@ def _cmd_loadgen(args: argparse.Namespace, progress: Progress) -> int:
         compression=args.compression,
         loadgen_duration=args.duration,
         max_sessions=args.max_sessions,
+        progress_interval=args.progress_interval,
     )
     trace = arrival_trace(
         scenario.config,
@@ -167,7 +219,11 @@ def _cmd_loadgen(args: argparse.Namespace, progress: Progress) -> int:
         file=sys.stderr,
         flush=True,
     )
-    report = asyncio.run(LoadGenerator(serve, trace).run())
+    progress = (
+        None if args.quiet
+        else lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    report = asyncio.run(LoadGenerator(serve, trace, progress=progress).run())
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0 if report.errors == 0 and report.underruns == 0 else 1
 

@@ -35,33 +35,46 @@ See ``docs/OBSERVABILITY.md`` for the record schema and metric names.
 
 from repro.obs.logging import get_logger, progress_printer
 from repro.obs.profiler import EventProfiler, ProfileReport
+from repro.obs.prometheus import parse_prometheus, render_prometheus
 from repro.obs.provenance import config_hash, run_provenance
+from repro.obs.recorder import FlightRecorder, read_postmortem
 from repro.obs.records import TraceKind, TraceRecord
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.runtime import (
+    check_trace_path,
     env_invariants_enabled,
     env_profile_enabled,
     env_trace_path,
     obs_active,
 )
+from repro.obs.spans import SessionSpan, SpanEvent, SpanLog, SpanPhase
 from repro.obs.tracer import Tracer
 
 __all__ = [
     "Counter",
     "EventProfiler",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ProfileReport",
+    "SessionSpan",
+    "SpanEvent",
+    "SpanLog",
+    "SpanPhase",
     "TraceKind",
     "TraceRecord",
     "Tracer",
+    "check_trace_path",
     "config_hash",
     "env_invariants_enabled",
     "env_profile_enabled",
     "env_trace_path",
     "get_logger",
     "obs_active",
+    "parse_prometheus",
     "progress_printer",
+    "read_postmortem",
+    "render_prometheus",
     "run_provenance",
 ]

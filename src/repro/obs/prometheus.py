@@ -1,0 +1,118 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+:func:`render_prometheus` turns one registry into the plain-text
+`exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+a Prometheus server scrapes: counters become ``*_total`` samples,
+gauges plain samples, histograms the conventional cumulative
+``*_bucket{le="..."}`` series plus ``*_sum`` / ``*_count``.  Metric
+names are namespaced (default ``repro_``) and sanitised to the
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset, so dotted registry names like
+``serve.chunk_latency_ms`` export as ``repro_serve_chunk_latency_ms``.
+
+:func:`parse_prometheus` is the matching (deliberately small) reader:
+it folds an exposition body back into ``{sample_name: value}`` with
+the label set inlined into the key.  The CI serve-smoke job and the
+test suite use it to assert a live gateway's export is well-formed —
+it is not a general Prometheus client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.obs.registry import MetricsRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus charset."""
+    clean = _NAME_OK.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: "MetricsRegistry", namespace: str = "repro"
+) -> str:
+    """The registry's current state as one exposition-format document.
+
+    Args:
+        registry: the instruments to export (snapshotted atomically —
+            the caller runs on the event loop, nothing mutates between
+            two reads).
+        namespace: prefix prepended to every metric name.
+    """
+    prefix = sanitize_metric_name(namespace) + "_" if namespace else ""
+    lines: List[str] = []
+
+    for name, counter in sorted(registry.counters().items()):
+        metric = prefix + sanitize_metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counter.snapshot())}")
+
+    for name, gauge in sorted(registry.gauges().items()):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge.snapshot())}")
+
+    for name, histogram in sorted(registry.histograms().items()):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.bounds, histogram.bucket_counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{bound:g}"}} {cumulative}'
+            )
+        cumulative += histogram.bucket_counts[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(histogram.total)}")
+        lines.append(f"{metric}_count {histogram.count}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Fold an exposition document into ``{sample: value}``.
+
+    The label set stays inlined in the key (``x_bucket{le="+Inf"}``).
+    Comment and blank lines are skipped; any other unparseable line
+    raises ``ValueError`` naming it — the point of this parser is to
+    *fail* on a malformed export, not to tolerate one.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(
+                f"unparseable exposition line {lineno}: {line!r}"
+            )
+        key = match.group("name") + (match.group("labels") or "")
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"bad sample value on line {lineno}: {raw!r}"
+            ) from None
+        samples[key] = value
+    return samples

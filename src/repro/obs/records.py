@@ -57,6 +57,11 @@ class TraceKind(str, enum.Enum):
     # -- live serving sessions (repro.serve) -------------------------
     SESSION_OPEN = "session.open"
     SESSION_CLOSE = "session.close"
+    SESSION_SPAN = "session.span"
+
+    # -- live telemetry plane (ops endpoint / flight recorder) -------
+    SERVE_STATS = "serve.stats"
+    POSTMORTEM_META = "postmortem.meta"
 
     # -- scheduler / stream dynamics ---------------------------------
     SCHED_REALLOC = "sched.realloc"
@@ -91,6 +96,11 @@ KIND_FIELDS: Dict[TraceKind, tuple] = {
     TraceKind.SESSION_OPEN: ("request", "video", "server", "peer"),
     TraceKind.SESSION_CLOSE: ("request", "reason", "delivered_mb",
                               "chunks"),
+    TraceKind.SESSION_SPAN: ("session", "phase", "wall"),
+    TraceKind.SERVE_STATS: ("wall", "admits", "rejects", "active",
+                            "chunks"),
+    TraceKind.POSTMORTEM_META: ("reason", "provenance", "pid",
+                                "dump_seq"),
     TraceKind.SCHED_REALLOC: ("server", "allocator", "streams", "boosted"),
     TraceKind.STREAM_BUFFER_FULL: ("request", "server"),
     TraceKind.STREAM_UNDERRUN: ("request", "server"),

@@ -120,18 +120,62 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentiles(
+        self, qs: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> Dict[float, Optional[float]]:
+        """Estimate the *qs*-th percentiles from the bucket counts.
+
+        Uses linear interpolation inside the containing bucket, with the
+        observed ``min``/``max`` standing in for the open outer edges —
+        so the estimate is exact at q=0/q=100 and never leaves the
+        observed range.  With no observations every value is ``None``.
+        """
+        out: Dict[float, Optional[float]] = {}
+        for q in qs:
+            if not 0.0 <= q <= 100.0:
+                raise ValueError(
+                    f"histogram {self.name}: percentile {q} not in [0, 100]"
+                )
+            out[q] = None
+        if self.count == 0:
+            return out
+        for q in out:
+            rank = q / 100.0 * self.count
+            cumulative = 0
+            for i, n in enumerate(self.bucket_counts):
+                if n == 0:
+                    continue
+                if cumulative + n >= rank:
+                    lo = self.bounds[i - 1] if i > 0 else self.min
+                    hi = self.bounds[i] if i < len(self.bounds) else self.max
+                    lo = max(lo, self.min)
+                    hi = min(hi, self.max)
+                    if hi < lo:
+                        lo = hi
+                    fraction = (rank - cumulative) / n
+                    out[q] = lo + fraction * (hi - lo)
+                    break
+                cumulative += n
+            else:  # pragma: no cover - rank <= count always lands
+                out[q] = self.max
+        return out
+
     def snapshot(self) -> Dict[str, Any]:
         buckets = {
             f"le_{bound:g}": n
             for bound, n in zip(self.bounds, self.bucket_counts)
         }
         buckets["inf"] = self.bucket_counts[-1]
+        pct = self.percentiles((50.0, 95.0, 99.0))
         return {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
             "min": None if self.count == 0 else self.min,
             "max": None if self.count == 0 else self.max,
+            "p50": pct[50.0],
+            "p95": pct[95.0],
+            "p99": pct[99.0],
             "buckets": buckets,
         }
 
@@ -189,6 +233,18 @@ class MetricsRegistry:
             + list(self._gauges)
             + list(self._histograms)
         )
+
+    def counters(self) -> Dict[str, Counter]:
+        """Registered counters by name (read-only view semantics)."""
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """Registered gauges by name."""
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Registered histograms by name."""
+        return dict(self._histograms)
 
     def reset(self) -> None:
         """Zero every instrument (warmup-window reset)."""

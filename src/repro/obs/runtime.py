@@ -36,6 +36,29 @@ def env_trace_path() -> Optional[str]:
     return path if path else None
 
 
+def check_trace_path(path: str, flag: str = "--trace-out") -> str:
+    """Fail fast — one actionable line — on an unusable trace path.
+
+    Called before a run starts (CLI flag parsing, Simulation build) so
+    a missing parent directory surfaces as ``SystemExit`` with a single
+    sentence naming the path and the fix, not as a raw
+    ``FileNotFoundError`` traceback after minutes of simulation.
+    Returns *path* unchanged when it is writable.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        raise SystemExit(
+            f"{flag} {path!r}: parent directory {parent!r} does not exist "
+            f"— create it first or point {flag} at an existing directory"
+        )
+    try:
+        with open(path, "a"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"{flag} {path!r}: not writable ({exc})")
+    return path
+
+
 def env_profile_enabled() -> bool:
     """Whether event profiling is requested via the environment."""
     return os.environ.get(PROFILE_VAR, "").strip().lower() not in _FALSY

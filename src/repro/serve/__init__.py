@@ -14,17 +14,30 @@ admission, DRM migration — on wall-clock asyncio connections:
 * :mod:`repro.serve.loadgen` — a client/load-generator replaying
   :mod:`repro.workload` arrival processes in real time with a
   time-compression factor, maintaining a staging buffer and reporting
-  underruns.
+  underruns;
+* :mod:`repro.serve.ops` — the gateway's live telemetry endpoint: a
+  second listener answering ``stats`` / ``health`` / ``sessions`` /
+  ``prometheus`` ops frames (docs/SERVING.md, "ops endpoint");
+* :mod:`repro.serve.top` — ``repro top``, a curses-free dashboard
+  over the ops endpoint or a recorded trace.
 
-CLI surface: ``repro serve --scenario FILE`` and ``repro loadgen
---scenario FILE`` (registered through the experiment registry; see
-:mod:`repro.experiments.live_serve`).
+CLI surface: ``repro serve --scenario FILE``, ``repro loadgen
+--scenario FILE``, ``repro top`` and ``repro ops`` (registered through
+the experiment registry; see :mod:`repro.experiments.live_serve` and
+:mod:`repro.experiments.ops_tools`).
 """
 
 from repro.serve.bridge import Decision, ParityError, PolicyBridge
 from repro.serve.config import ServeConfig
 from repro.serve.gateway import ClusterGateway
 from repro.serve.loadgen import LoadGenerator, LoadReport, SessionOutcome
+from repro.serve.ops import (
+    OPS_VERBS,
+    OpsEndpoint,
+    format_reply,
+    ops_query,
+    ops_query_sync,
+)
 from repro.serve.protocol import (
     Frame,
     FrameError,
@@ -33,6 +46,7 @@ from repro.serve.protocol import (
     read_frame,
     write_frame,
 )
+from repro.serve.top import render_top, run_live, run_trace, trace_samples
 
 __all__ = [
     "ClusterGateway",
@@ -42,11 +56,20 @@ __all__ = [
     "LoadGenerator",
     "LoadReport",
     "MAX_HEADER_BYTES",
+    "OPS_VERBS",
+    "OpsEndpoint",
     "ParityError",
     "PolicyBridge",
     "ServeConfig",
     "SessionOutcome",
     "encode_frame",
+    "format_reply",
+    "ops_query",
+    "ops_query_sync",
     "read_frame",
+    "render_top",
+    "run_live",
+    "run_trace",
+    "trace_samples",
     "write_frame",
 ]

@@ -47,6 +47,15 @@ class ServeConfig:
             the session is declared dead (transient-failure budget).
         drain_timeout: wall seconds :meth:`ClusterGateway.drain` waits
             for in-flight sessions before force-closing them.
+        ops_port: TCP port of the gateway's ops (telemetry) listener;
+            0 binds an ephemeral port, ``None`` disables the endpoint
+            entirely (docs/SERVING.md, "ops endpoint").
+        stats_interval: wall seconds between ``serve.stats`` trace
+            samples (the flight recorder's and ``repro top --trace``'s
+            time series) when a tracer is attached.
+        progress_interval: wall seconds between the load generator's
+            one-line progress reports (stderr); only used when a
+            progress callback is given.
         loadgen_duration: virtual seconds of arrivals the load
             generator replays; ``None`` uses the scenario's
             ``duration``.
@@ -65,6 +74,9 @@ class ServeConfig:
     send_timeout: float = 5.0
     send_retries: int = 3
     drain_timeout: float = 15.0
+    ops_port: Optional[int] = 0
+    stats_interval: float = 1.0
+    progress_interval: float = 2.0
     loadgen_duration: Optional[float] = None
     max_sessions: Optional[int] = None
 
@@ -97,7 +109,13 @@ class ServeConfig:
             raise ValueError(
                 f"send_retries must be >= 0, got {self.send_retries}"
             )
-        for name in ("handshake_timeout", "send_timeout", "drain_timeout"):
+        if self.ops_port is not None and not (0 <= self.ops_port <= 65535):
+            raise ValueError(
+                f"ops_port must be a TCP port or None (disabled), "
+                f"got {self.ops_port}"
+            )
+        for name in ("handshake_timeout", "send_timeout", "drain_timeout",
+                     "stats_interval", "progress_interval"):
             if getattr(self, name) <= 0:
                 raise ValueError(
                     f"{name} must be positive, got {getattr(self, name)}"

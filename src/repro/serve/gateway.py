@@ -37,12 +37,15 @@ from __future__ import annotations
 
 import asyncio
 import heapq
-from typing import Any, Dict, List, Optional, Set, Tuple
+from datetime import datetime, timezone
+from typing import Any, Awaitable, Dict, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.cluster.request import Request, RequestState
+from repro.obs.spans import SpanPhase
 from repro.serve.bridge import Decision, ParityError, PolicyBridge
 from repro.serve.config import ServeConfig
+from repro.serve.ops import OpsEndpoint
 from repro.serve.protocol import (
     FrameError,
     MAX_PAYLOAD_BYTES,
@@ -145,18 +148,20 @@ class _Session:
     """Gateway-side state of one admitted stream."""
 
     __slots__ = (
-        "decision", "request", "writer", "bucket", "scheduled_mb",
+        "key", "decision", "request", "writer", "bucket", "scheduled_mb",
         "delivered_mb", "chunks", "send_failures", "server_id",
         "migrations", "end_reason", "closed", "last_stamp",
     )
 
     def __init__(
         self,
+        key: int,
         decision: Decision,
         request: Request,
         writer: asyncio.StreamWriter,
         burst_mb: float,
     ) -> None:
+        self.key = key
         self.decision = decision
         self.request = request
         self.writer = writer
@@ -197,16 +202,26 @@ class ClusterGateway:
         config: SimulationConfig,
         serve: Optional[ServeConfig] = None,
         tracer: Optional[obs.Tracer] = None,
+        recorder: Optional[obs.FlightRecorder] = None,
     ) -> None:
         self.config = config
         self.serve = serve if serve is not None else ServeConfig()
         self.tracer = tracer
+        self.recorder = recorder
         self.bridge = PolicyBridge(config, tracer=tracer)
         self.clock = _VirtualClock(self.serve.compression)
         self.registry = self.bridge.sim.registry
         self.sessions: Dict[int, _Session] = {}
+        #: Twice-clocked lifecycle spans, live-queryable via the ops
+        #: endpoint and mirrored into the trace (docs/OBSERVABILITY.md).
+        self.spans = obs.SpanLog(tracer=tracer)
+        self.ops: Optional[OpsEndpoint] = (
+            OpsEndpoint(self) if self.serve.ops_port is not None else None
+        )
 
         self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_wall: Optional[float] = None
         self._tasks: List[asyncio.Task] = []
         self._side_tasks: Set[asyncio.Task] = set()
         self._pending: List[Tuple[Tuple[float, int], _Arrival]] = []
@@ -231,39 +246,89 @@ class ClusterGateway:
         reg.gauge(
             "serve.arrivals.pending", supplier=lambda: len(self._pending)
         )
+        reg.gauge("serve.vt_lag_s", supplier=self.vt_lag)
+        reg.gauge("serve.guard_occupancy", supplier=self.guard_occupancy)
+        for sid in self.bridge.controller.servers:
+            reg.gauge(
+                f"serve.server.{sid}.sessions",
+                supplier=lambda s=sid: self._server_row(s)["sessions"],
+            )
+            reg.gauge(
+                f"serve.server.{sid}.scheduled_mb_s",
+                supplier=lambda s=sid: self._server_row(s)["scheduled_mb_s"],
+            )
+            reg.gauge(
+                f"serve.server.{sid}.bucket_mb",
+                supplier=lambda s=sid: self._server_row(s)["bucket_mb"],
+            )
         self._c_admits = reg.counter("serve.admits")
         self._c_rejects = reg.counter("serve.rejects")
         self._c_chunks = reg.counter("serve.chunks")
         self._c_chunk_mb = reg.counter("serve.chunk_megabits")
         self._c_retries = reg.counter("serve.send_retries")
         self._h_buffer = reg.histogram("serve.client_buffer_mb")
+        self._h_latency = reg.histogram("serve.chunk_latency_ms")
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listener and start the policy and server loops."""
+        """Bind the listeners and start the policy and server loops."""
         if self._server is not None:
             raise RuntimeError("gateway already started")
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.serve.host, port=self.serve.port
         )
         loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._started_wall = loop.time()
+        if self.ops is not None:
+            await self.ops.start()
         self._tasks.append(
-            loop.create_task(self._policy_loop(), name="serve.policy")
+            loop.create_task(
+                self._supervised(self._policy_loop(), "policy_loop"),
+                name="serve.policy",
+            )
         )
         for sid in self.bridge.controller.servers:
             self._tasks.append(
                 loop.create_task(
-                    self._server_loop(sid), name=f"serve.server.{sid}"
+                    self._supervised(
+                        self._server_loop(sid), f"server_loop.{sid}"
+                    ),
+                    name=f"serve.server.{sid}",
                 )
             )
+        if self.tracer is not None:
+            self._tasks.append(
+                loop.create_task(self._stats_loop(), name="serve.stats")
+            )
+
+    async def _supervised(self, coro: Awaitable[None], where: str) -> None:
+        """Run one gateway loop; dump the flight recorder on a crash.
+
+        An :class:`~repro.faults.invariants.InvariantViolation` escaping
+        the policy engine — or any other unhandled exception — writes a
+        postmortem before propagating (the exception still kills the
+        task; recording is a side effect, not a handler).
+        """
+        if self.recorder is None:
+            await coro
+            return
+        with self.recorder.guard(where):
+            await coro
 
     @property
     def port(self) -> int:
         """The bound TCP port (useful with ``ServeConfig(port=0)``)."""
         assert self._server is not None, "gateway not started"
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def ops_port(self) -> int:
+        """The ops endpoint's bound TCP port."""
+        assert self.ops is not None, "ops endpoint disabled (ops_port=None)"
+        return self.ops.port
 
     def begin_drain(self) -> None:
         """Stop admitting; keep pacing.  Idempotent, sync (signal-safe)."""
@@ -293,6 +358,8 @@ class ClusterGateway:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.ops is not None:
+            await self.ops.stop()
         for task in self._tasks:
             await task
         # Connection handlers park on their client's EOF; closing the
@@ -351,6 +418,9 @@ class ClusterGateway:
         self.clock.anchor(time, now, self.serve.startup_slack)
         self._seq += 1
         arrival = _Arrival(time, self._seq, video, writer, now)
+        self.spans.record(
+            arrival.seq, SpanPhase.ACCEPT, now, time, video=video
+        )
         heapq.heappush(self._pending, (arrival.order(), arrival))
         self._wake.set()
 
@@ -407,9 +477,14 @@ class ClusterGateway:
                 self.bridge.advance(safe_vt)
 
     def _process_arrival(self, arrival: _Arrival) -> None:
+        wall = self._loop.time() if self._loop is not None else 0.0
         if self._draining:
             self._drain_rejects += 1
             self._c_rejects.inc()
+            self.spans.record(
+                arrival.seq, SpanPhase.REJECT, wall, arrival.time,
+                reason="draining",
+            )
             self._respond(
                 arrival.writer,
                 {"type": "reject", "reason": "draining", "t": arrival.time},
@@ -436,6 +511,10 @@ class ClusterGateway:
 
         if not decision.accepted:
             self._c_rejects.inc()
+            self.spans.record(
+                arrival.seq, SpanPhase.REJECT, wall, decision.time,
+                reason=decision.outcome, request=decision.request,
+            )
             self._respond(
                 arrival.writer,
                 {
@@ -450,9 +529,16 @@ class ClusterGateway:
 
         request = self.bridge.request_of(decision)
         assert request is not None, "accepted request missing from cluster"
-        session = _Session(decision, request, arrival.writer, self._burst_mb)
+        session = _Session(
+            arrival.seq, decision, request, arrival.writer, self._burst_mb
+        )
         self.sessions[arrival.seq] = session
         self._c_admits.inc()
+        self.spans.record(
+            arrival.seq, SpanPhase.ADMIT, wall, decision.time,
+            request=decision.request, server=decision.server,
+            migrated=decision.migrations > 0,
+        )
         if self.tracer is not None:
             peer = arrival.writer.get_extra_info("peername")
             self.tracer.emit(
@@ -559,6 +645,11 @@ class ClusterGateway:
                     request.server_id != session.server_id
                 ):
                     session.migrations += 1
+                    self.spans.record(
+                        session.key, SpanPhase.HANDOFF,
+                        self._loop.time() if self._loop else 0.0, now_vt,
+                        source=session.server_id, target=request.server_id,
+                    )
                     session.server_id = request.server_id
                 await self._pump_session(session, now_vt)
 
@@ -593,6 +684,7 @@ class ClusterGateway:
             payload = b"\x00" * max(
                 1, int(mb * self.serve.bytes_per_megabit)
             )
+            first_chunk = session.chunks == 0
             ok = await self._try_send(
                 session.writer,
                 {
@@ -611,6 +703,22 @@ class ClusterGateway:
             session.delivered_mb += mb
             self._c_chunks.inc()
             self._c_chunk_mb.inc(mb)
+            # Delivery lag behind the schedule: wall now minus the wall
+            # time the chunk's virtual stamp maps to.  The pacer trails
+            # the wall clock by `guard` on purpose, so steady state
+            # reads ~guard*1000 ms; growth beyond that is real lag.
+            if self._loop is not None:
+                lag_ms = (
+                    self._loop.time()
+                    - self.clock.wall_for(session.last_stamp)
+                ) * 1000.0
+                self._h_latency.observe(max(0.0, lag_ms))
+            if first_chunk:
+                self.spans.record(
+                    session.key, SpanPhase.PACING,
+                    self._loop.time() if self._loop else 0.0, now_vt,
+                    server=session.server_id,
+                )
 
         if request.state is RequestState.DROPPED:
             await self._close_session(session, "dropped", notify=True)
@@ -632,6 +740,17 @@ class ClusterGateway:
         for key, value in list(self.sessions.items()):
             if value is session:
                 del self.sessions[key]
+        wall = self._loop.time() if self._loop is not None else 0.0
+        if reason == "drained":
+            self.spans.record(
+                session.key, SpanPhase.DRAIN, wall, self.bridge.now
+            )
+        self.spans.record(
+            session.key, SpanPhase.CLOSE, wall, self.bridge.now,
+            reason=reason,
+            delivered_mb=round(session.delivered_mb, 9),
+            chunks=session.chunks,
+        )
         if notify:
             await self._try_send(
                 session.writer,
@@ -653,6 +772,173 @@ class ClusterGateway:
                 delivered_mb=round(session.delivered_mb, 9),
                 chunks=session.chunks,
             )
+
+    # ------------------------------------------------------------------
+    # Live telemetry (ops endpoint + serve.stats sampler)
+    # ------------------------------------------------------------------
+    def vt_lag(self) -> float:
+        """Virtual seconds the policy clock trails the wall clock.
+
+        The wall clock implies a virtual "now" through the affine map;
+        the pacer deliberately holds the engine ``guard`` wall-seconds
+        behind it, so steady state reads ``guard * compression``.
+        Growth beyond that means the policy loop is falling behind.
+        """
+        if self._loop is None or not self.clock.anchored:
+            return 0.0
+        return max(
+            0.0, self.clock.virtual(self._loop.time()) - self.bridge.now
+        )
+
+    def guard_occupancy(self) -> float:
+        """:meth:`vt_lag` as a fraction of the guard window (~1.0 is
+        nominal; > 1 means arrivals may be waiting on the policy loop)."""
+        window = self.serve.guard * self.serve.compression
+        return self.vt_lag() / window if window > 0 else 0.0
+
+    def uptime(self) -> float:
+        """Wall seconds since :meth:`start` (0 before)."""
+        if self._loop is None or self._started_wall is None:
+            return 0.0
+        return self._loop.time() - self._started_wall
+
+    def _server_row(self, server_id: int) -> Dict[str, float]:
+        """Live load of one server: session count, scheduled bandwidth
+        (EFTF rate sum, Mb/s virtual) and token-bucket fill (Mb)."""
+        sessions = 0
+        rate = 0.0
+        bucket_mb = 0.0
+        for session in self.sessions.values():
+            request = session.request
+            owner = (
+                request.server_id
+                if request.server_id is not None
+                else session.server_id
+            )
+            if owner != server_id or session.closed:
+                continue
+            sessions += 1
+            rate += max(0.0, request.rate)
+            bucket_mb += session.bucket.tokens
+        return {
+            "sessions": sessions,
+            "scheduled_mb_s": round(rate, 6),
+            "bucket_mb": round(bucket_mb, 6),
+        }
+
+    def _server_rows(self) -> Dict[str, Dict[str, float]]:
+        return {
+            str(sid): self._server_row(sid)
+            for sid in self.bridge.controller.servers
+        }
+
+    async def _stats_loop(self) -> None:
+        """Sample gateway state into ``serve.stats`` trace records.
+
+        The samples are the time series ``repro top --trace`` replays
+        and the flight recorder's postmortem window carries — cheap
+        enough to always run when a tracer is attached.
+        """
+        while not self._stopping.is_set():
+            await asyncio.sleep(self.serve.stats_interval)
+            if self.tracer is None or not self.clock.anchored:
+                continue
+            self._emit_stats()
+
+    def _emit_stats(self) -> None:
+        assert self.tracer is not None
+        pct = self._h_latency.percentiles((50.0, 95.0, 99.0))
+        self.tracer.emit(
+            obs.TraceKind.SERVE_STATS,
+            self.bridge.now,
+            wall=round(self._loop.time(), 3) if self._loop else 0.0,
+            uptime_s=round(self.uptime(), 3),
+            admits=int(self._c_admits.value),
+            rejects=int(self._c_rejects.value),
+            active=len(self.sessions),
+            chunks=int(self._c_chunks.value),
+            chunk_mb=round(self._c_chunk_mb.value, 6),
+            vt_lag_s=round(self.vt_lag(), 6),
+            guard_occupancy=round(self.guard_occupancy(), 4),
+            latency_ms={
+                "p50": pct[50.0], "p95": pct[95.0], "p99": pct[99.0]
+            },
+            servers=self._server_rows(),
+        )
+
+    # -- ops verb bodies (framed by repro.serve.ops) -------------------
+    def ops_stats(self) -> Dict[str, Any]:
+        """``ops stats``: the atomic metrics snapshot plus run framing.
+
+        "Atomic" by construction: the gateway is single-threaded on the
+        event loop, so nothing mutates between two instrument reads of
+        one snapshot.
+        """
+        return {
+            "wall_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "uptime_s": round(self.uptime(), 3),
+            "virtual_now": round(self.bridge.now, 9),
+            "anchored": self.clock.anchored,
+            "draining": self._draining,
+            "decisions": len(self.bridge.decisions),
+            "metrics": self.registry.snapshot(),
+        }
+
+    def ops_health(self) -> Dict[str, Any]:
+        """``ops health``: one cheap verdict plus the pacing gauges."""
+        if self._draining:
+            status = "draining"
+        elif not self.clock.anchored:
+            status = "idle"
+        else:
+            status = "serving"
+        return {
+            "status": status,
+            "anchored": self.clock.anchored,
+            "uptime_s": round(self.uptime(), 3),
+            "virtual_now": round(self.bridge.now, 9),
+            "vt_lag_s": round(self.vt_lag(), 6),
+            "guard_occupancy": round(self.guard_occupancy(), 4),
+            "sessions_active": len(self.sessions),
+            "arrivals_pending": len(self._pending),
+            "admits": int(self._c_admits.value),
+            "rejects": int(self._c_rejects.value),
+            "chunks": int(self._c_chunks.value),
+            "chunk_mb": round(self._c_chunk_mb.value, 6),
+            "latency_ms": {
+                f"p{q:g}": v
+                for q, v in self._h_latency.percentiles(
+                    (50.0, 95.0, 99.0)
+                ).items()
+            },
+            "servers": self._server_rows(),
+        }
+
+    def ops_sessions(self, recent: int = 20) -> Dict[str, Any]:
+        """``ops sessions``: live per-session rows + recent spans."""
+        active = []
+        for key in sorted(self.sessions):
+            session = self.sessions[key]
+            span = self.spans.get(key)
+            active.append({
+                "key": key,
+                "request": session.decision.request,
+                "video": session.decision.video,
+                "server": session.server_id,
+                "phase": span.phase.value if span and span.phase else None,
+                "delivered_mb": round(session.delivered_mb, 6),
+                "scheduled_mb": round(session.scheduled_mb, 6),
+                "bucket_mb": round(session.bucket.tokens, 6),
+                "chunks": session.chunks,
+                "migrations": session.migrations,
+            })
+        return {
+            "active": active,
+            "recent": [s.to_dict() for s in self.spans.recent(recent)],
+            "spans_recorded": self.spans.recorded,
+        }
 
     # ------------------------------------------------------------------
     # Summary
@@ -677,6 +963,8 @@ class ClusterGateway:
                 "parity_clamps": self._parity_clamps,
                 "handshake_errors": self._handshake_errors,
                 "open_sessions": len(self.sessions),
+                "client_buffer_mb": self._h_buffer.snapshot(),
+                "chunk_latency_ms": self._h_latency.snapshot(),
             },
             "decisions": [d.to_wire() for d in self.bridge.decisions],
         }

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import FrameError, read_frame, write_frame
@@ -278,21 +278,60 @@ class LoadGenerator:
             ``port`` and ``compression``.
         trace: the arrival trace to replay; build one with
             :func:`arrival_trace` to reproduce a scenario's workload.
+        progress: optional callable given one status line every
+            :attr:`ServeConfig.progress_interval` wall seconds (the CLI
+            prints it to stderr).  ``None`` (default) runs silently.
     """
 
-    def __init__(self, serve: ServeConfig, trace: Trace) -> None:
+    def __init__(
+        self,
+        serve: ServeConfig,
+        trace: Trace,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
         self.serve = serve
         self.trace = trace
+        self.progress = progress
         self._active = 0
         self._peak = 0
+        self._done = 0
+        #: Live outcome objects (clients mutate these in place), so the
+        #: reporter can aggregate mid-flight without extra bookkeeping.
+        self._outcomes: List[SessionOutcome] = []
 
     async def _client(self, index: int, spec: RequestSpec) -> SessionOutcome:
+        client = _LiveClient(self.serve, index, spec)
+        self._outcomes.append(client.outcome)
         self._active += 1
         self._peak = max(self._peak, self._active)
         try:
-            return await _LiveClient(self.serve, index, spec).run()
+            return await client.run()
         finally:
             self._active -= 1
+            self._done += 1
+
+    def _progress_line(self, chunk_rate: float) -> str:
+        chunks = sum(o.chunks for o in self._outcomes)
+        underruns = sum(o.underruns for o in self._outcomes)
+        return (
+            f"loadgen: {self._active} open, "
+            f"{self._done}/{len(self.trace)} done, "
+            f"{chunks} chunks ({chunk_rate:.0f}/s), "
+            f"{underruns} underruns"
+        )
+
+    async def _report_loop(self) -> None:
+        assert self.progress is not None
+        loop = asyncio.get_running_loop()
+        last_chunks = 0
+        last_wall = loop.time()
+        while True:
+            await asyncio.sleep(self.serve.progress_interval)
+            now = loop.time()
+            chunks = sum(o.chunks for o in self._outcomes)
+            rate = (chunks - last_chunks) / max(now - last_wall, 1e-9)
+            self.progress(self._progress_line(rate))
+            last_chunks, last_wall = chunks, now
 
     async def run(self) -> LoadReport:
         """Dispatch every arrival at its compressed wall time; gather
@@ -300,20 +339,35 @@ class LoadGenerator:
         loop = asyncio.get_running_loop()
         if not len(self.trace):
             return LoadReport()
-        # Wall origin such that the first arrival fires immediately;
-        # the gateway re-anchors on that first frame anyway.
-        first_vt = self.trace[0].time
-        t0 = loop.time()
-        tasks: List[asyncio.Task] = []
-        for index, spec in enumerate(self.trace):
-            due = t0 + self.serve.to_wall(spec.time - first_vt)
-            delay = due - loop.time()
-            if delay > 0:
-                await asyncio.sleep(delay)
-            tasks.append(
-                loop.create_task(
-                    self._client(index, spec), name=f"loadgen.{index}"
-                )
+        reporter: Optional[asyncio.Task] = None
+        if self.progress is not None:
+            reporter = loop.create_task(
+                self._report_loop(), name="loadgen.progress"
             )
-        sessions = list(await asyncio.gather(*tasks))
+        try:
+            # Wall origin such that the first arrival fires immediately;
+            # the gateway re-anchors on that first frame anyway.
+            first_vt = self.trace[0].time
+            t0 = loop.time()
+            tasks: List[asyncio.Task] = []
+            for index, spec in enumerate(self.trace):
+                due = t0 + self.serve.to_wall(spec.time - first_vt)
+                delay = due - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(
+                    loop.create_task(
+                        self._client(index, spec), name=f"loadgen.{index}"
+                    )
+                )
+            sessions = list(await asyncio.gather(*tasks))
+        finally:
+            if reporter is not None:
+                reporter.cancel()
+                try:
+                    await reporter
+                except asyncio.CancelledError:
+                    pass
+        if self.progress is not None:
+            self.progress(self._progress_line(0.0))
         return LoadReport(sessions=sessions, peak_concurrency=self._peak)

@@ -1,0 +1,225 @@
+"""The gateway's ops endpoint: live telemetry over a second listener.
+
+Operational queries ride the same length-prefixed frame protocol as the
+data plane (:mod:`repro.serve.protocol`) but on a **separate TCP port**,
+so scraping stats can never contend with the admission handshake path
+and an overloaded data listener stays diagnosable.  One frame in, one
+frame out, connection per query — the endpoint is stateless.
+
+Verb vocabulary (client sends ``{"type": "ops", "verb": <verb>}``):
+
+=============== ====================================================
+verb            reply
+=============== ====================================================
+``stats``       ``ops.reply`` — atomic metrics snapshot + run framing
+``health``      ``ops.reply`` — status verdict + pacing gauges
+``sessions``    ``ops.reply`` — live session rows + recent spans
+``prometheus``  ``ops.reply`` with the text exposition as *payload*
+=============== ====================================================
+
+Unknown or malformed queries get ``{"type": "ops.error", "reason": ...}``
+— never a dropped connection, so a probe can distinguish "endpoint
+down" from "bad query".
+
+Client side: :func:`ops_query` (async) and :func:`ops_query_sync` (for
+the CLI and shell one-liners) speak the same frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.obs.prometheus import render_prometheus
+from repro.serve.protocol import FrameError, read_frame, write_frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.gateway import ClusterGateway
+
+#: Verbs the endpoint answers; kept in sync with docs/SERVING.md.
+OPS_VERBS = ("stats", "health", "sessions", "prometheus")
+
+#: Wall-clock bound on one ops exchange (read query, write reply).
+_OPS_TIMEOUT = 5.0
+
+
+class OpsEndpoint:
+    """The second listener; answers ``ops`` frames about *gateway*.
+
+    Replies are computed synchronously on the event loop, so every
+    answer is a consistent point-in-time view: no session can open,
+    close or migrate between two fields of one reply.
+    """
+
+    def __init__(self, gateway: "ClusterGateway") -> None:
+        self.gateway = gateway
+        self.queries = 0
+        self.errors = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The bound ops TCP port."""
+        assert self._server is not None, "ops endpoint not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        serve = self.gateway.serve
+        assert serve.ops_port is not None
+        self._server = await asyncio.start_server(
+            self._handle, host=serve.host, port=serve.ops_port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                frame = await read_frame(reader, timeout=_OPS_TIMEOUT)
+            except (FrameError, asyncio.TimeoutError, ConnectionError,
+                    OSError):
+                self.errors += 1
+                return
+            if frame is None:
+                return
+            header, payload = self._answer(frame.header)
+            try:
+                await write_frame(
+                    writer, header, payload, timeout=_OPS_TIMEOUT
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                self.errors += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _answer(self, query: Dict[str, Any]) -> tuple:
+        """One query -> (reply header, reply payload).  Never raises."""
+        self.queries += 1
+        if query.get("type") != "ops":
+            self.errors += 1
+            return (
+                {
+                    "type": "ops.error",
+                    "reason": f"unknown frame type {query.get('type')!r}; "
+                              f"expected 'ops'",
+                },
+                b"",
+            )
+        verb = query.get("verb")
+        if verb not in OPS_VERBS:
+            self.errors += 1
+            return (
+                {
+                    "type": "ops.error",
+                    "reason": f"unknown verb {verb!r}; "
+                              f"expected one of {', '.join(OPS_VERBS)}",
+                },
+                b"",
+            )
+        gw = self.gateway
+        if verb == "stats":
+            return ({"type": "ops.reply", "verb": verb,
+                     "stats": gw.ops_stats()}, b"")
+        if verb == "health":
+            return ({"type": "ops.reply", "verb": verb,
+                     "health": gw.ops_health()}, b"")
+        if verb == "sessions":
+            recent = query.get("recent", 20)
+            if not isinstance(recent, int) or recent < 0:
+                recent = 20
+            return ({"type": "ops.reply", "verb": verb,
+                     "sessions": gw.ops_sessions(recent=recent)}, b"")
+        # prometheus: the exposition format is line-oriented text, not
+        # JSON — ship it as the frame payload so scrapers get it raw.
+        text = render_prometheus(gw.registry).encode("utf-8")
+        return ({"type": "ops.reply", "verb": verb,
+                 "content_type": "text/plain; version=0.0.4"}, text)
+
+
+async def ops_query(
+    host: str,
+    port: int,
+    verb: str,
+    timeout: float = _OPS_TIMEOUT,
+    **fields: Any,
+) -> Dict[str, Any]:
+    """Ask a running gateway's ops endpoint one question.
+
+    Args:
+        host, port: the ops listener (``gateway.ops_port``, or the
+            banner line ``repro serve`` prints).
+        verb: one of :data:`OPS_VERBS`.
+        timeout: wall bound on connect + exchange.
+        **fields: extra query fields (e.g. ``recent=50`` for
+            ``sessions``).
+
+    Returns:
+        The reply header; for ``prometheus`` the exposition text is
+        under ``"text"``.
+
+    Raises:
+        ConnectionError: endpoint unreachable or connection dropped.
+        ValueError: the endpoint answered ``ops.error``.
+        asyncio.TimeoutError: the exchange exceeded *timeout*.
+    """
+
+    async def _exchange() -> Dict[str, Any]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_frame(
+                writer, {"type": "ops", "verb": verb, **fields}
+            )
+            frame = await read_frame(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        if frame is None:
+            raise ConnectionError(
+                f"ops endpoint {host}:{port} closed without replying"
+            )
+        if frame.type == "ops.error":
+            raise ValueError(
+                f"ops endpoint rejected the query: "
+                f"{frame.header.get('reason', '?')}"
+            )
+        reply = dict(frame.header)
+        if frame.payload:
+            reply["text"] = frame.payload.decode("utf-8")
+        return reply
+
+    return await asyncio.wait_for(_exchange(), timeout)
+
+
+def ops_query_sync(
+    host: str,
+    port: int,
+    verb: str,
+    timeout: float = _OPS_TIMEOUT,
+    **fields: Any,
+) -> Dict[str, Any]:
+    """Blocking wrapper around :func:`ops_query` (CLI entry point)."""
+    return asyncio.run(ops_query(host, port, verb, timeout, **fields))
+
+
+def format_reply(reply: Dict[str, Any]) -> str:
+    """Render an ops reply for a terminal: JSON, or raw exposition."""
+    if "text" in reply:
+        return reply["text"]
+    body = {
+        k: v for k, v in reply.items() if k not in ("type", "verb", "payload")
+    }
+    return json.dumps(body, indent=2, sort_keys=True)

@@ -392,6 +392,9 @@ class Simulation:
 
         self._trace_path = obs.env_trace_path()
         if tracer is None and self._trace_path is not None:
+            # Fail fast with one actionable line (missing parent
+            # directory etc.) instead of a traceback after the run.
+            obs.check_trace_path(self._trace_path, flag="REPRO_TRACE_OUT")
             tracer = obs.Tracer()
         self.tracer = tracer
         self._env_profile = obs.env_profile_enabled()

@@ -239,6 +239,32 @@ class TestObservabilityCLI:
         assert "REPRO_TRACE_OUT" not in os.environ
         assert out.exists() and out.stat().st_size > 0
 
+    def test_trace_out_missing_parent_is_one_actionable_line(self, tmp_path):
+        """A typo'd --trace-out directory fails before any simulation
+        runs, naming the flag and the missing directory — not a
+        traceback from deep inside the exporter."""
+        target = tmp_path / "no" / "such" / "dir" / "t.jsonl"
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "run", "--system", "small", "--theta", "0.0",
+                "--hours", "0.5", "--warmup-hours", "0",
+                "--trace-out", str(target),
+            ])
+        message = str(exc.value)
+        assert "--trace-out" in message
+        assert "does not exist" in message
+        assert str(target.parent) in message
+
+    def test_trace_out_env_missing_parent_names_the_variable(
+        self, tmp_path, monkeypatch
+    ):
+        from repro import SMALL_SYSTEM, Simulation, SimulationConfig
+
+        target = tmp_path / "void" / "t.jsonl"
+        monkeypatch.setenv("REPRO_TRACE_OUT", str(target))
+        with pytest.raises(SystemExit, match="REPRO_TRACE_OUT"):
+            Simulation(SimulationConfig(system=SMALL_SYSTEM))
+
     def test_progress_goes_to_stderr_not_stdout(self, capsys):
         code = main([
             "fig5", "--system", "small", "--scale", "0.0005",

@@ -427,3 +427,237 @@ class TestExportSidecar:
         payload = json.loads(out.read_text())
         assert payload["provenance"] == {"seed": 1}
         assert payload["metrics"]["counters"]["hits"] == 2.0
+
+
+# ----------------------------------------------------------------------
+# Histogram percentiles (the p50/p95/p99 satellite)
+# ----------------------------------------------------------------------
+class TestHistogramPercentiles:
+    def test_empty_histogram_yields_none(self):
+        h = Histogram("empty")
+        assert h.percentiles() == {50.0: None, 95.0: None, 99.0: None}
+        snap = h.snapshot()
+        assert snap["p50"] is None and snap["p99"] is None
+
+    def test_single_observation_pins_every_quantile(self):
+        h = Histogram("one")
+        h.observe(42.0)
+        pct = h.percentiles((0.0, 50.0, 100.0))
+        assert pct[0.0] == pytest.approx(42.0)
+        assert pct[50.0] == pytest.approx(42.0)
+        assert pct[100.0] == pytest.approx(42.0)
+
+    def test_uniform_observations_interpolate_monotonically(self):
+        h = Histogram("u", bounds=(10.0, 20.0, 30.0, 40.0))
+        for v in range(1, 41):
+            h.observe(float(v))
+        pct = h.percentiles((25.0, 50.0, 75.0, 95.0))
+        assert pct[25.0] <= pct[50.0] <= pct[75.0] <= pct[95.0]
+        # Uniform on (0, 40]: the median falls in the (10, 20] bucket.
+        assert 10.0 <= pct[50.0] <= 20.0
+        assert pct[95.0] <= 40.0
+
+    def test_percentiles_clamped_to_observed_range(self):
+        h = Histogram("clamp", bounds=(100.0,))
+        h.observe(3.0)
+        h.observe(7.0)
+        pct = h.percentiles((1.0, 99.0))
+        assert pct[1.0] >= 3.0
+        assert pct[99.0] <= 7.0
+
+    def test_invalid_quantile_raises(self):
+        h = Histogram("bad")
+        with pytest.raises(ValueError):
+            h.percentiles((101.0,))
+        with pytest.raises(ValueError):
+            h.percentiles((-1.0,))
+
+    def test_snapshot_carries_percentiles(self):
+        h = Histogram("snap")
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["p50"] is not None
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+        assert snap["p99"] <= snap["max"]
+
+    def test_registry_accessors_return_copies(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        counters = reg.counters()
+        counters["impostor"] = None
+        assert "impostor" not in reg.counters()
+        assert set(reg.gauges()) == {"g"}
+        assert set(reg.histograms()) == {"h"}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+class TestPrometheus:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.admits").inc(3)
+        reg.gauge("serve.sessions.active").set(7)
+        h = reg.histogram("serve.chunk_latency_ms", bounds=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            h.observe(v)
+        return reg
+
+    def test_render_counter_and_gauge_lines(self):
+        from repro.obs import render_prometheus
+
+        text = render_prometheus(self._registry())
+        assert "# TYPE repro_serve_admits_total counter" in text
+        assert "repro_serve_admits_total 3" in text
+        assert "# TYPE repro_serve_sessions_active gauge" in text
+        assert "repro_serve_sessions_active 7" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        from repro.obs import parse_prometheus, render_prometheus
+
+        samples = parse_prometheus(render_prometheus(self._registry()))
+        name = "repro_serve_chunk_latency_ms"
+        le10 = samples[f'{name}_bucket{{le="10"}}']
+        le100 = samples[f'{name}_bucket{{le="100"}}']
+        inf = samples[f'{name}_bucket{{le="+Inf"}}']
+        assert (le10, le100, inf) == (1.0, 2.0, 3.0)
+        assert samples[f"{name}_count"] == 3.0
+        assert samples[f"{name}_sum"] == pytest.approx(555.0)
+
+    def test_round_trip_every_sample_parses(self):
+        from repro.obs import parse_prometheus, render_prometheus
+
+        text = render_prometheus(self._registry())
+        samples = parse_prometheus(text)
+        # Every non-comment line must surface as exactly one sample.
+        payload_lines = [
+            line for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(samples) == len(payload_lines)
+
+    def test_parse_rejects_garbage_naming_the_line(self):
+        from repro.obs import parse_prometheus
+
+        with pytest.raises(ValueError, match="bad sample value on line 2"):
+            parse_prometheus("ok_metric 1\nbroken_metric not-a-number\n")
+
+    def test_name_sanitization(self):
+        from repro.obs.prometheus import sanitize_metric_name
+
+        assert sanitize_metric_name("serve.server.0.bucket_mb") == (
+            "serve_server_0_bucket_mb"
+        )
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+# ----------------------------------------------------------------------
+# Session spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def _log(self, tracer=None):
+        from repro.obs import SpanLog
+
+        return SpanLog(tracer=tracer)
+
+    def test_lifecycle_promotes_fields_and_closes(self):
+        from repro.obs import SpanPhase
+
+        log = self._log()
+        log.record(1, SpanPhase.ACCEPT, 0.1, 5.0, video=3)
+        log.record(1, SpanPhase.ADMIT, 0.2, 5.0, request=9, server=2)
+        span = log.record(1, SpanPhase.CLOSE, 9.0, 80.0, reason="finished")
+        assert span.video == 3 and span.request == 9 and span.server == 2
+        assert span.closed
+        assert span.phase is SpanPhase.CLOSE
+        assert log.active() == []
+        assert [s.key for s in log.recent()] == [1]
+        assert log.get(1) is span            # findable after close
+        assert span.wall_of(SpanPhase.ADMIT) == pytest.approx(0.2)
+
+    def test_reject_is_terminal(self):
+        from repro.obs import SpanPhase
+
+        log = self._log()
+        log.record(4, SpanPhase.ACCEPT, 0.0, 1.0, video=0)
+        log.record(4, SpanPhase.REJECT, 0.1, 1.0, reason="saturated")
+        assert log.active() == []
+        assert log.recent()[0].closed
+
+    def test_handoffs_counted(self):
+        from repro.obs import SpanPhase
+
+        log = self._log()
+        log.record(2, SpanPhase.ADMIT, 0.0, 1.0, server=0)
+        log.record(2, SpanPhase.HANDOFF, 1.0, 11.0, source=0, target=1,
+                   server=1)
+        log.record(2, SpanPhase.HANDOFF, 2.0, 21.0, source=1, target=2,
+                   server=2)
+        span = log.get(2)
+        assert span.handoffs == 2
+        assert span.server == 2
+
+    def test_completed_ring_is_bounded(self):
+        from repro.obs import SpanLog, SpanPhase
+
+        log = SpanLog(capacity=3)
+        for key in range(10):
+            log.record(key, SpanPhase.CLOSE, 0.0, float(key))
+        assert len(log.recent()) == 3
+        assert [s.key for s in log.recent()] == [9, 8, 7]
+        assert log.recorded == 10
+
+    def test_transitions_mirrored_into_tracer(self):
+        from repro.obs import SpanPhase
+
+        tracer = Tracer()
+        log = self._log(tracer)
+        log.record(5, SpanPhase.ACCEPT, 1.25, 10.0, video=7)
+        log.record(5, SpanPhase.CLOSE, 2.0, 20.0, reason="finished")
+        records = tracer.records_of(TraceKind.SESSION_SPAN)
+        assert [r.fields["phase"] for r in records] == ["accept", "close"]
+        assert records[0].time == 10.0            # virtual time is `t`
+        assert records[0].fields["wall"] == pytest.approx(1.25)
+        assert records[0].fields["session"] == 5
+
+    def test_to_dict_is_json_ready(self):
+        from repro.obs import SpanPhase
+
+        log = self._log()
+        log.record(6, SpanPhase.ADMIT, 0.5, 2.0, request=1, server=0)
+        payload = json.loads(json.dumps(log.get(6).to_dict()))
+        assert payload["phase"] == "admit"
+        assert payload["events"][0]["vt"] == 2.0
+
+
+# ----------------------------------------------------------------------
+# Trace-path preflight (the --trace-out error satellite)
+# ----------------------------------------------------------------------
+class TestCheckTracePath:
+    def test_missing_parent_is_one_actionable_line(self, tmp_path):
+        from repro.obs import check_trace_path
+
+        target = tmp_path / "no" / "such" / "dir" / "trace.jsonl"
+        with pytest.raises(SystemExit) as excinfo:
+            check_trace_path(str(target), flag="--trace-out")
+        message = str(excinfo.value)
+        assert "--trace-out" in message
+        assert "does not exist" in message
+        assert str(target.parent) in message
+
+    def test_existing_parent_passes_through(self, tmp_path):
+        from repro.obs import check_trace_path
+
+        target = tmp_path / "trace.jsonl"
+        assert check_trace_path(str(target)) == str(target)
+        assert not target.exists() or target.stat().st_size == 0
+
+    def test_env_var_flag_is_named(self, tmp_path):
+        from repro.obs import check_trace_path
+
+        target = tmp_path / "void" / "t.jsonl"
+        with pytest.raises(SystemExit, match="REPRO_TRACE_OUT"):
+            check_trace_path(str(target), flag="REPRO_TRACE_OUT")

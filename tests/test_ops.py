@@ -1,0 +1,396 @@
+"""Tests for the live telemetry plane (repro.serve.ops / repro.serve.top).
+
+The acceptance loop: a live gateway answers ops frames — stats, health,
+sessions, and the Prometheus text exposition — *while* streaming ≥ 20
+concurrent sessions, and attaching the whole telemetry plane leaves the
+policy decisions byte-identical to a virtual-time replay (the parity
+contract).  ``repro top`` renders from both sources: the live endpoint
+and a recorded JSONL trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.scenario import load_scenario
+from repro.serve import (
+    ClusterGateway,
+    LoadGenerator,
+    PolicyBridge,
+    ServeConfig,
+    ops_query,
+    render_top,
+    run_live,
+    run_trace,
+    trace_samples,
+)
+from repro.serve.bridge import decisions_digest
+from repro.serve.loadgen import arrival_trace
+from repro.serve.ops import format_reply, ops_query_sync
+from repro.serve.top import sample_from_health, sample_from_record
+
+REPO = Path(__file__).resolve().parent.parent
+SCENARIO_PATH = REPO / "scenarios" / "serve_loopback.json"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return load_scenario(SCENARIO_PATH)
+
+
+async def _wait_for_active(gateway, host, port, minimum, deadline=30.0):
+    """Poll health until *minimum* sessions stream (or the run ends)."""
+    loop = asyncio.get_running_loop()
+    limit = loop.time() + deadline
+    while loop.time() < limit:
+        reply = await ops_query(host, port, "health")
+        if reply["health"]["sessions_active"] >= minimum:
+            return reply["health"]
+        await asyncio.sleep(0.05)
+    raise AssertionError(
+        f"never reached {minimum} concurrent sessions within {deadline}s"
+    )
+
+
+# ----------------------------------------------------------------------
+# The ops endpoint, live, mid-run
+# ----------------------------------------------------------------------
+class TestOpsEndpointLive:
+    def test_all_verbs_mid_run_and_parity_preserved(self, scenario):
+        """The tentpole acceptance: every ops verb answers while ≥ 20
+        sessions stream, the Prometheus export parses, and the
+        telemetry plane does not perturb a single policy decision."""
+
+        async def scenario_run():
+            tracer = obs.Tracer()
+            serve = ServeConfig(port=0, ops_port=0, stats_interval=0.2)
+            gateway = ClusterGateway(scenario.config, serve, tracer=tracer)
+            await gateway.start()
+            trace = arrival_trace(scenario.config)
+            loadgen = asyncio.create_task(
+                LoadGenerator(ServeConfig(port=gateway.port), trace).run()
+            )
+
+            health = await _wait_for_active(
+                gateway, serve.host, gateway.ops_port, 20
+            )
+            stats = await ops_query(serve.host, gateway.ops_port, "stats")
+            sessions = await ops_query(
+                serve.host, gateway.ops_port, "sessions", recent=10
+            )
+            prom = await ops_query(
+                serve.host, gateway.ops_port, "prometheus"
+            )
+
+            report = await loadgen
+            summary = await gateway.stop()
+            leaked = [
+                t for t in asyncio.all_tasks()
+                if t is not asyncio.current_task() and not t.done()
+            ]
+            return (gateway, trace, report, summary, health, stats,
+                    sessions, prom, tracer, leaked)
+
+        (gateway, trace, report, summary, health, stats, sessions, prom,
+         tracer, leaked) = run(scenario_run())
+
+        # -- health: the pacing gauges of a serving gateway ------------
+        assert health["status"] == "serving"
+        assert health["sessions_active"] >= 20
+        assert health["anchored"] is True
+        assert health["admits"] >= 20
+        assert health["vt_lag_s"] >= 0.0
+        assert 0.0 <= health["guard_occupancy"] < 10.0
+        assert set(health["servers"]) == {
+            str(s) for s in gateway.bridge.controller.servers
+        }
+        assert sum(
+            row["sessions"] for row in health["servers"].values()
+        ) == health["sessions_active"]
+
+        # -- stats: the atomic metrics snapshot ------------------------
+        snap = stats["stats"]["metrics"]
+        assert snap["counters"]["serve.admits"] >= 20
+        assert snap["gauges"]["serve.vt_lag_s"] >= 0.0
+        assert "serve.chunk_latency_ms" in snap["histograms"]
+        assert stats["stats"]["uptime_s"] > 0.0
+
+        # -- sessions: live rows + recent spans ------------------------
+        rows = sessions["sessions"]["active"]
+        assert len(rows) >= 20
+        for row in rows[:5]:
+            assert row["phase"] in ("admit", "pacing", "handoff")
+            assert row["server"] in gateway.bridge.controller.servers
+            assert row["delivered_mb"] >= 0.0
+        assert sessions["sessions"]["spans_recorded"] > 0
+
+        # -- prometheus: a parseable exposition ------------------------
+        samples = obs.parse_prometheus(prom["text"])
+        assert samples["repro_serve_admits_total"] >= 20
+        assert samples['repro_serve_chunk_latency_ms_bucket{le="+Inf"}'] == (
+            samples["repro_serve_chunk_latency_ms_count"]
+        )
+
+        # -- parity: telemetry did not change one decision -------------
+        assert report.errors == 0 and report.underruns == 0
+        reference = PolicyBridge(scenario.config).replay(trace)
+        assert decisions_digest(gateway.bridge.decisions) == (
+            decisions_digest(reference)
+        )
+        assert summary["serve"]["parity_clamps"] == 0
+
+        # -- stats sampler fed the trace; nothing leaked ---------------
+        assert tracer.counts.get(obs.TraceKind.SERVE_STATS, 0) >= 1
+        assert tracer.counts.get(obs.TraceKind.SESSION_SPAN, 0) > 0
+        assert leaked == []
+
+    def test_unknown_verb_answers_ops_error(self, scenario):
+        async def scenario_run():
+            serve = ServeConfig(port=0, ops_port=0)
+            gateway = ClusterGateway(scenario.config, serve)
+            await gateway.start()
+            try:
+                with pytest.raises(ValueError, match="unknown verb"):
+                    await ops_query(serve.host, gateway.ops_port, "dance")
+                with pytest.raises(ValueError, match="expected 'ops'"):
+                    from repro.serve.protocol import read_frame, write_frame
+
+                    reader, writer = await asyncio.open_connection(
+                        serve.host, gateway.ops_port
+                    )
+                    await write_frame(writer, {"type": "chunk"})
+                    frame = await read_frame(reader)
+                    writer.close()
+                    assert frame.type == "ops.error"
+                    raise ValueError(frame.header["reason"])
+            finally:
+                await gateway.stop()
+
+        run(scenario_run())
+
+    def test_ops_disabled_by_config(self, scenario):
+        async def scenario_run():
+            gateway = ClusterGateway(
+                scenario.config, ServeConfig(port=0, ops_port=None)
+            )
+            await gateway.start()
+            try:
+                assert gateway.ops is None
+                with pytest.raises(AssertionError, match="disabled"):
+                    gateway.ops_port
+            finally:
+                await gateway.stop()
+
+        run(scenario_run())
+
+    def test_health_on_idle_gateway(self, scenario):
+        async def scenario_run():
+            serve = ServeConfig(port=0, ops_port=0)
+            gateway = ClusterGateway(scenario.config, serve)
+            await gateway.start()
+            try:
+                return await ops_query(
+                    serve.host, gateway.ops_port, "health"
+                )
+            finally:
+                await gateway.stop()
+
+        reply = run(scenario_run())
+        health = reply["health"]
+        assert health["status"] == "idle"        # nothing has arrived
+        assert health["anchored"] is False
+        assert health["sessions_active"] == 0
+        assert health["vt_lag_s"] == 0.0
+
+    def test_sync_client_and_format_reply(self, scenario):
+        """ops_query_sync drives its own loop (the `repro ops` path):
+        it runs on a worker thread here, exactly like a separate CLI
+        process talking to a serving gateway."""
+
+        async def main():
+            serve = ServeConfig(port=0, ops_port=0)
+            gateway = ClusterGateway(scenario.config, serve)
+            await gateway.start()
+            port = gateway.ops_port
+            reply = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: ops_query_sync("127.0.0.1", port, "health")
+            )
+            await gateway.stop()
+            return reply
+
+        reply = run(main())
+        assert reply["health"]["status"] == "idle"
+        rendered = format_reply(reply)
+        assert json.loads(rendered)["health"]["status"] == "idle"
+
+
+# ----------------------------------------------------------------------
+# repro top — rendering from both sources
+# ----------------------------------------------------------------------
+class TestTopDashboard:
+    def _sample(self, **overrides):
+        base = {
+            "status": "serving", "t": 120.0, "uptime_s": 3.0,
+            "admits": 40, "rejects": 2, "active": 25,
+            "chunks": 400, "chunk_mb": 900.0,
+            "vt_lag_s": 10.0, "guard_occupancy": 1.0,
+            "latency_ms": {"p50": 150.0, "p95": 200.0, "p99": 250.0},
+            "servers": {
+                "0": {"sessions": 13, "scheduled_mb_s": 30.0,
+                      "bucket_mb": 0.5},
+                "1": {"sessions": 12, "scheduled_mb_s": 28.0,
+                      "bucket_mb": 0.25},
+            },
+        }
+        base.update(overrides)
+        return base
+
+    def test_render_shows_all_panels(self):
+        frame = render_top(self._sample())
+        assert "status=serving" in frame
+        assert "active    25" in frame
+        assert "p50 150.0 ms" in frame and "p99 250.0 ms" in frame
+        assert "guard [" in frame
+        # Per-server table, one row per server.
+        assert frame.count("30.00") == 1 and frame.count("28.00") == 1
+
+    def test_rates_need_two_samples(self):
+        prev = self._sample(uptime_s=2.0, admits=30, chunks=300,
+                            chunk_mb=650.0)
+        cold = render_top(self._sample())
+        warm = render_top(self._sample(), prev)
+        assert "(-)" in cold                  # no rate without history
+        assert "(10.0/s)" in warm             # 10 admits over 1 s
+        assert "250.0 Mb/s" in warm           # 250 Mb over 1 s
+
+    def test_live_single_frame_into_pipe(self, scenario):
+        async def scenario_run():
+            serve = ServeConfig(port=0, ops_port=0)
+            gateway = ClusterGateway(scenario.config, serve)
+            await gateway.start()
+            out = io.StringIO()
+            try:
+                rendered = await asyncio.get_running_loop().run_in_executor(
+                    None,
+                    lambda: run_live(
+                        serve.host, gateway.ops_port, frames=1, out=out
+                    ),
+                )
+            finally:
+                await gateway.stop()
+            return rendered, out.getvalue()
+
+        rendered, text = run(scenario_run())
+        assert rendered == 1
+        assert "repro top [live]" in text
+        assert "\x1b" not in text             # piped output: no ANSI
+
+    def test_live_unreachable_is_one_actionable_line(self):
+        with pytest.raises(SystemExit, match="repro serve"):
+            run_live("127.0.0.1", 1, frames=1, out=io.StringIO())
+
+    def test_trace_replay_renders_run(self, scenario, tmp_path):
+        async def scenario_run():
+            tracer = obs.Tracer()
+            serve = ServeConfig(port=0, ops_port=0, stats_interval=0.2)
+            gateway = ClusterGateway(scenario.config, serve, tracer=tracer)
+            await gateway.start()
+            trace = arrival_trace(scenario.config, max_sessions=10)
+            await LoadGenerator(ServeConfig(port=gateway.port), trace).run()
+            await gateway.stop()
+            return tracer
+
+        tracer = run(scenario_run())
+        path = tmp_path / "run.jsonl"
+        tracer.export_jsonl(path, provenance={"mode": "test"})
+
+        samples = trace_samples(path)
+        assert samples, "stats sampler must have fed the trace"
+        for sample in samples:
+            assert sample["status"] == "recorded"
+            assert "admits" in sample and "servers" in sample
+
+        out = io.StringIO()
+        frames = run_trace(path, out=out)       # final state only
+        assert frames == 1
+        assert "repro top [trace]" in out.getvalue()
+
+        out = io.StringIO()
+        frames = run_trace(path, out=out, follow=True)
+        assert frames == len(samples)
+
+    def test_trace_without_stats_is_actionable(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"t": 0.0, "kind": "run.meta"}\n')
+        with pytest.raises(SystemExit, match="no serve.stats samples"):
+            trace_samples(path)
+
+    def test_missing_trace_file_is_actionable(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            trace_samples(tmp_path / "nope.jsonl")
+
+    def test_sample_normalisers(self):
+        health = {"status": "serving", "sessions_active": 3,
+                  "virtual_now": 9.0, "uptime_s": 1.0}
+        sample = sample_from_health(health)
+        assert sample["active"] == 3 and sample["t"] == 9.0
+        record = {"t": 5.0, "kind": "serve.stats", "active": 2,
+                  "uptime_s": 0.5}
+        sample = sample_from_record(record)
+        assert sample["status"] == "recorded"
+        assert sample["sessions_active"] == 2
+
+
+# ----------------------------------------------------------------------
+# CLI: repro top / repro ops argument contracts
+# ----------------------------------------------------------------------
+class TestOpsCli:
+    def test_top_requires_a_source(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="either --port"):
+            main(["top"])
+
+    def test_top_rejects_both_sources(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["top", "--port", "1", "--trace", "x.jsonl"])
+
+    def test_ops_requires_port(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--port PORT is required"):
+            main(["ops", "health"])
+
+    def test_top_from_trace_via_cli(self, scenario, tmp_path, capsys):
+        from repro.cli import main
+
+        async def scenario_run():
+            tracer = obs.Tracer()
+            serve = ServeConfig(port=0, ops_port=0, stats_interval=0.2)
+            gateway = ClusterGateway(scenario.config, serve, tracer=tracer)
+            await gateway.start()
+            trace = arrival_trace(scenario.config, max_sessions=8)
+            await LoadGenerator(ServeConfig(port=gateway.port), trace).run()
+            await gateway.stop()
+            return tracer
+
+        tracer = run(scenario_run())
+        path = tmp_path / "cli.jsonl"
+        tracer.export_jsonl(path, provenance={"mode": "test"})
+
+        assert main(["top", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro top [trace]" in out
+        assert "server" in out

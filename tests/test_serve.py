@@ -193,6 +193,14 @@ class TestServeConfig:
         cfg = ServeConfig(compression=25.0, tick=0.02, guard=0.5)
         assert ServeConfig.from_dict(cfg.to_dict()) == cfg
 
+    def test_round_trip_with_telemetry_knobs(self):
+        cfg = ServeConfig(
+            ops_port=9402, stats_interval=0.5, progress_interval=3.0
+        )
+        assert ServeConfig.from_dict(cfg.to_dict()) == cfg
+        disabled = ServeConfig(ops_port=None)
+        assert ServeConfig.from_dict(disabled.to_dict()).ops_port is None
+
     def test_clock_conversions_invert(self):
         cfg = ServeConfig(compression=40.0)
         assert cfg.to_virtual(cfg.to_wall(123.0)) == pytest.approx(123.0)
@@ -210,6 +218,10 @@ class TestServeConfig:
             {"send_retries": -1},
             {"drain_timeout": 0.0},
             {"max_sessions": 0},
+            {"ops_port": 70000},
+            {"ops_port": -1},
+            {"stats_interval": 0.0},
+            {"progress_interval": -2.0},
         ],
     )
     def test_invalid_knobs_rejected(self, kwargs):
