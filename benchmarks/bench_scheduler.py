@@ -1,0 +1,40 @@
+"""Scheduler microbenchmark: agenda push/pop throughput by depth.
+
+Measures every registered :mod:`repro.sim.scheduler` implementation
+(binary heap, calendar queue) under the classic *hold* workload at
+several queue depths, pinning down where the structures cross over —
+the data behind the heap-by-default recommendation in
+docs/PERFORMANCE.md.  The numbers land in ``BENCH_perf.json`` under
+the ``scheduler`` key (via ``repro bench`` / bench_perf.py, which
+refreshes the whole report); like bench_perf.py this file prints its
+table instead of ``emit()``-ing it — timing varies run to run, and
+``results/bench_results.txt`` must regenerate byte-identically.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro import benchmark as perf
+
+
+def test_scheduler_hold(benchmark):
+    report = run_once(benchmark, perf.scheduler_benchmark)
+    lines = [
+        "scheduler hold workload "
+        f"({report['ops']} pop+push pairs, best of {report['repeats']})"
+    ]
+    for row in report["results"]:
+        pairs = ", ".join(
+            f"{key[:-len('_ops_per_sec')]} {value:>12,.0f} ops/sec"
+            for key, value in sorted(row.items())
+            if key.endswith("_ops_per_sec")
+        )
+        lines.append(f"  depth {row['depth']:>6}: {pairs}")
+    print("\n".join(lines))
+    assert all(
+        value > 0
+        for row in report["results"]
+        for key, value in row.items()
+        if key.endswith("_ops_per_sec")
+    )

@@ -1,19 +1,29 @@
 """Performance benchmark harness (``repro-vod bench``).
 
-Two measurements, written to ``BENCH_perf.json`` so successive PRs
-accumulate a perf trajectory:
+Three measurements, written to ``BENCH_perf.json`` (schema
+``repro-bench-perf/2``) so successive PRs accumulate a perf trajectory:
 
 * **engine microbenchmark** — raw events/sec of the DES core on a
   self-perpetuating event chain interleaved with cancelled handles
   (exercising both the fire path and the lazy-cancellation skip path);
+* **scheduler microbenchmark** — push/pop throughput of each agenda
+  implementation (heap vs calendar queue) at several queue depths,
+  pinning down the depth crossover between the two;
 * **sweep benchmark** — wall time of a Figure-4-shaped
   (θ × variant × trial) sweep executed serially (``REPRO_WORKERS=1``)
-  versus through the grid-level parallel executor, with the
-  bit-identity of the two results asserted (the determinism gate).
+  versus through the chunked parallel executor on a pre-warmed
+  persistent pool, with the bit-identity of the two results asserted
+  (the determinism gate).  On hosts with fewer than two usable CPUs
+  the timing comparison would only measure process-spawn overhead, so
+  it is skipped (``"skipped": "cpu_count<2"``) — the 2-worker identity
+  leg still runs so the determinism gate never goes dark.
 
 Timing numbers are machine-dependent — compare them only against runs
-on the same hardware (``cpu_count`` is recorded for that reason).  The
-identity flag, in contrast, must always be true.
+on the same hardware (``cpu_count`` — logical CPUs — and
+``cpu_usable`` — the affinity mask, what a cgroup-limited CI runner
+actually gets — are recorded for that reason; ``repro bench
+--compare`` automates the comparison).  The identity flag, in
+contrast, must always be true.
 """
 
 from __future__ import annotations
@@ -21,25 +31,60 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import random
 from time import perf_counter
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.system import SMALL_SYSTEM
 from repro.experiments import fig4_drm
-from repro.experiments.base import THETA_GRID_COARSE
+from repro.experiments.base import THETA_GRID_COARSE, warm_pool
 from repro.obs.provenance import run_provenance
 from repro.sim.engine import Engine
+from repro.sim.scheduler import SCHEDULERS
 
 #: Default output path (repo root when invoked from a checkout).
 DEFAULT_OUT = "BENCH_perf.json"
 
+#: Current report schema.  /2 added ``cpu_usable``, the ``scheduler``
+#: section, per-scheduler engine naming, and the sweep skip field.
+SCHEMA = "repro-bench-perf/2"
+
 #: Events per engine-microbenchmark repetition.
 ENGINE_EVENTS = 200_000
+
+#: Queue depths probed by the scheduler microbenchmark — shallow (a
+#: typical per-server agenda), mid, and deep (where the calendar queue
+#: overtakes the heap's O(log n) sift).
+SCHEDULER_DEPTHS = (256, 4096, 32768)
+
+#: Push/pop pairs per scheduler-microbenchmark measurement.
+SCHEDULER_OPS = 100_000
 
 #: Fidelity of the sweep benchmark (matches REPRO_BENCH_SCALE's
 #: default, so the sweep leg mirrors the committed bench artifacts).
 SWEEP_SCALE = 0.003
 QUICK_SWEEP_SCALE = 0.001
+
+#: Engine events/sec drop (vs a baseline report) that ``--compare``
+#: treats as a regression.
+REGRESSION_THRESHOLD = 0.20
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count`` reports the host's logical CPUs even when a
+    cgroup / affinity mask (CI runners, containers) restricts the
+    process to fewer — which made single-core "parallel" benches look
+    like regressions.  Prefers the affinity mask where the platform
+    exposes it.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
 
 
 @contextlib.contextmanager
@@ -60,18 +105,27 @@ def _workers_env(value: Optional[int]):
 
 
 def engine_benchmark(
-    n_events: int = ENGINE_EVENTS, repeats: int = 3
-) -> Dict[str, float]:
+    n_events: int = ENGINE_EVENTS,
+    repeats: int = 3,
+    scheduler: Optional[str] = None,
+) -> Dict[str, object]:
     """Measure raw engine throughput (best of *repeats*).
 
     The workload is a single self-rescheduling chain with one cancelled
     handle per ten live events, so the measured loop covers scheduling,
-    heap maintenance, firing and the lazy-cancellation skip — the same
-    mix a simulation produces, minus model arithmetic.
+    agenda maintenance, firing and the lazy-cancellation skip — the
+    same mix a simulation produces, minus model arithmetic.
+
+    Args:
+        n_events: live events per repetition.
+        repeats: measurement repetitions (best is reported).
+        scheduler: agenda registry key (``"heap"``/``"calendar"``);
+            None follows ``REPRO_SCHEDULER`` / the heap default.
     """
+    name = scheduler or os.environ.get("REPRO_SCHEDULER", "heap")
     best = 0.0
     for _ in range(repeats):
-        engine = Engine()
+        engine = Engine(scheduler=name)
         remaining = [n_events]
 
         def tick() -> None:
@@ -89,8 +143,59 @@ def engine_benchmark(
     return {
         "events": n_events,
         "repeats": repeats,
+        "scheduler": name,
         "events_per_sec": round(best, 1),
     }
+
+
+def scheduler_benchmark(
+    depths=SCHEDULER_DEPTHS, ops: int = SCHEDULER_OPS, repeats: int = 3
+) -> Dict[str, object]:
+    """Push/pop throughput of each registered agenda at several depths.
+
+    The classic *hold* workload: pre-fill the queue to *depth*, then
+    repeatedly pop the minimum and push a replacement a random offset
+    later, keeping the depth constant — the steady state a long
+    simulation puts its agenda in.  Offsets come from a fixed-seed RNG
+    so every scheduler (and every run) sees the identical sequence, and
+    scale with depth so the agenda spans a time window proportional to
+    its size — the regime deep agendas occur in (many event sources
+    spread across the horizon; depth-N entries packed into a constant
+    window would degenerate any bucketed structure, and time values
+    don't affect the heap's comparisons either way).
+
+    Returns one row per depth with ``<name>_ops_per_sec`` for every
+    registered scheduler (an "op" is one pop+push pair).
+    """
+    rows: List[Dict[str, object]] = []
+    for depth in depths:
+        row: Dict[str, object] = {"depth": depth}
+        for name in sorted(SCHEDULERS.names()):
+            cls = SCHEDULERS.get(name)
+            spread = depth / 8.0
+            offsets = [
+                o * spread
+                for o in random.Random(12345).choices(
+                    [0.5, 1.0, 1.7, 2.3, 5.0], k=1024
+                )
+            ]
+            best = 0.0
+            for _ in range(repeats):
+                sched = cls()
+                seq = 0
+                for i in range(depth):
+                    seq += 1
+                    sched.push((offsets[i % 1024] * i / depth, seq, None))
+                t0 = perf_counter()
+                for i in range(ops):
+                    t, _, _ = sched.pop()
+                    seq += 1
+                    sched.push((t + offsets[i % 1024], seq, None))
+                elapsed = perf_counter() - t0
+                best = max(best, ops / elapsed)
+            row[f"{name}_ops_per_sec"] = round(best, 1)
+        rows.append(row)
+    return {"ops": ops, "repeats": repeats, "results": rows}
 
 
 def sweep_benchmark(
@@ -121,15 +226,9 @@ def sweep_benchmark(
     if progress is not None:
         progress("bench: serial sweep leg (REPRO_WORKERS=1) ...")
     serial, serial_s = leg(1)
-    # At least two workers so the pool path is exercised even on a
-    # single-core machine (where the "speedup" is honestly <= 1).
-    workers = max(2, os.cpu_count() or 1)
-    if progress is not None:
-        progress(f"bench: parallel sweep leg ({workers} workers) ...")
-    parallel, parallel_s = leg(workers)
 
-    identical = serial.curves == parallel.curves
-    return {
+    usable = usable_cpus()
+    report: Dict[str, object] = {
         "shape": {
             "figure": "fig4",
             "system": system.name,
@@ -141,11 +240,44 @@ def sweep_benchmark(
             * serial.scale.trials,
         },
         "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
-        "parallel_workers": workers,
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
-        "identical": identical,
     }
+    if usable < 2:
+        # A timing comparison here would only measure process-spawn
+        # overhead and read as a phantom regression.  Skip the timing,
+        # but still run a 2-worker leg so the serial≡parallel
+        # determinism gate is exercised even on one core.
+        if progress is not None:
+            progress(
+                "bench: parallel timing skipped (1 usable CPU); "
+                "running 2-worker identity leg ..."
+            )
+        warm_pool(2)
+        parallel, _ = leg(2)
+        report.update(
+            parallel_seconds=None,
+            parallel_workers=2,
+            speedup=None,
+            skipped="cpu_count<2",
+        )
+    else:
+        workers = usable
+        if progress is not None:
+            progress(f"bench: parallel sweep leg ({workers} workers) ...")
+        # Warm the persistent pool first: the measurement is
+        # steady-state sweep throughput, not one-time worker start-up
+        # (the pool is reused across sweeps within a process).
+        with _workers_env(workers):
+            warm_pool(workers)
+        parallel, parallel_s = leg(workers)
+        report.update(
+            parallel_seconds=round(parallel_s, 3),
+            parallel_workers=workers,
+            speedup=(
+                round(serial_s / parallel_s, 3) if parallel_s else None
+            ),
+        )
+    report["identical"] = serial.curves == parallel.curves
+    return report
 
 
 def run_bench(
@@ -161,12 +293,20 @@ def run_bench(
     engine = engine_benchmark(
         n_events=ENGINE_EVENTS // 4 if quick else ENGINE_EVENTS
     )
+    if progress is not None:
+        progress("bench: scheduler push/pop microbenchmark ...")
+    scheduler = scheduler_benchmark(
+        depths=SCHEDULER_DEPTHS[:2] if quick else SCHEDULER_DEPTHS,
+        ops=SCHEDULER_OPS // 4 if quick else SCHEDULER_OPS,
+    )
     sweep = sweep_benchmark(quick=quick, seed=seed, progress=progress)
     report: Dict[str, object] = {
-        "schema": "repro-bench-perf/1",
+        "schema": SCHEMA,
         "quick": quick,
         "cpu_count": os.cpu_count(),
+        "cpu_usable": usable_cpus(),
         "engine": engine,
+        "scheduler": scheduler,
         "sweep": sweep,
         "provenance": run_provenance(seed=seed, scale=sweep["shape"]["scale"]),
     }
@@ -182,15 +322,111 @@ def render_report(report: Dict[str, object]) -> str:
     engine = report["engine"]
     sweep = report["sweep"]
     lines = [
-        f"engine: {engine['events_per_sec']:,.0f} events/sec "
+        f"engine ({engine.get('scheduler', 'heap')} scheduler): "
+        f"{engine['events_per_sec']:,.0f} events/sec "
         f"({engine['events']} events, best of {engine['repeats']})",
+    ]
+    for row in report.get("scheduler", {}).get("results", []):
+        pairs = ", ".join(
+            f"{key[:-len('_ops_per_sec')]} {value:,.0f} ops/sec"
+            for key, value in row.items()
+            if key.endswith("_ops_per_sec")
+        )
+        lines.append(f"scheduler hold @depth {row['depth']}: {pairs}")
+    shape = (
         f"sweep ({sweep['shape']['figure']}, {sweep['shape']['system']} "
         f"system, {sweep['shape']['tasks']} tasks): "
-        f"serial {sweep['serial_seconds']:.2f}s vs parallel "
-        f"{sweep['parallel_seconds']:.2f}s "
-        f"on {sweep['parallel_workers']} workers "
-        f"-> speedup {sweep['speedup']:.2f}x "
-        f"(cpu_count={report['cpu_count']})",
-        f"serial/parallel results identical: {sweep['identical']}",
-    ]
+        f"serial {sweep['serial_seconds']:.2f}s"
+    )
+    cpus = (
+        f"(cpu_count={report['cpu_count']}"
+        + (
+            f", usable={report['cpu_usable']})"
+            if "cpu_usable" in report
+            else ")"
+        )
+    )
+    if sweep.get("skipped"):
+        lines.append(
+            f"{shape}; parallel timing skipped [{sweep['skipped']}] {cpus}"
+        )
+    else:
+        lines.append(
+            f"{shape} vs parallel {sweep['parallel_seconds']:.2f}s "
+            f"on {sweep['parallel_workers']} workers "
+            f"-> speedup {sweep['speedup']:.2f}x {cpus}"
+        )
+    lines.append(f"serial/parallel results identical: {sweep['identical']}")
     return "\n".join(lines)
+
+
+def compare_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Tuple[List[str], bool]:
+    """Per-metric deltas of *current* vs a *baseline* report.
+
+    Returns ``(lines, regressed)`` where *regressed* is True iff the
+    engine events/sec dropped by more than *threshold* (the gating
+    metric: events/sec is hardware-comparable within one host class,
+    while sweep wall times also move with load and task shape, so those
+    are reported but never gate).  Tolerates schema /1 baselines (no
+    ``scheduler`` section, no ``cpu_usable``).
+    """
+
+    def pct(new: float, old: float) -> str:
+        if not old:
+            return "n/a"
+        return f"{(new - old) / old:+.1%}"
+
+    lines: List[str] = []
+    cur_eps = current["engine"]["events_per_sec"]
+    base_eps = baseline["engine"]["events_per_sec"]
+    regressed = bool(base_eps) and cur_eps < base_eps * (1.0 - threshold)
+    lines.append(
+        f"engine events/sec: {cur_eps:,.0f} vs baseline {base_eps:,.0f} "
+        f"({pct(cur_eps, base_eps)})"
+        + (f"  ** REGRESSION (> {threshold:.0%} drop) **" if regressed else "")
+    )
+
+    base_rows = {
+        row["depth"]: row
+        for row in baseline.get("scheduler", {}).get("results", [])
+    }
+    for row in current.get("scheduler", {}).get("results", []):
+        base_row = base_rows.get(row["depth"])
+        if base_row is None:
+            continue
+        for key, value in row.items():
+            if not key.endswith("_ops_per_sec") or key not in base_row:
+                continue
+            name = key[: -len("_ops_per_sec")]
+            lines.append(
+                f"scheduler {name} @depth {row['depth']}: {value:,.0f} vs "
+                f"{base_row[key]:,.0f} ({pct(value, base_row[key])})"
+            )
+
+    for field, label in (
+        ("serial_seconds", "sweep serial seconds"),
+        ("parallel_seconds", "sweep parallel seconds"),
+        ("speedup", "sweep speedup"),
+    ):
+        cur_v = current["sweep"].get(field)
+        base_v = baseline["sweep"].get(field)
+        if cur_v is None or base_v is None:
+            skip = current["sweep"].get("skipped") or baseline["sweep"].get(
+                "skipped"
+            )
+            lines.append(f"{label}: not compared ({skip or 'missing'})")
+        else:
+            lines.append(f"{label}: {cur_v} vs {base_v} ({pct(cur_v, base_v)})")
+
+    if current.get("quick") != baseline.get("quick"):
+        lines.append(
+            "note: quick flags differ "
+            f"(current={current.get('quick')}, "
+            f"baseline={baseline.get('quick')}) — deltas are not "
+            "like-for-like"
+        )
+    return lines, regressed

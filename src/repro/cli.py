@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 from typing import List, Optional
@@ -153,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="root random seed")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress lines")
+    p.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="print per-metric deltas against a baseline BENCH_perf.json"
+             " and exit non-zero if engine events/sec regressed >20%%",
+    )
 
     # -- chaos: modes and flags from the chaos registry ----------------
     p = sub.add_parser(
@@ -369,8 +375,19 @@ def _cmd_bench(args) -> int:
     )
     print(benchmark.render_report(report))
     print(f"wrote {args.out}")
-    # Timing is machine noise; only a broken determinism gate fails.
-    return 0 if report["sweep"]["identical"] else 1
+    rc = 0 if report["sweep"]["identical"] else 1
+    if args.compare is not None:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        lines, regressed = benchmark.compare_reports(report, baseline)
+        print(f"-- compare vs {args.compare} --")
+        for line in lines:
+            print(line)
+        if regressed:
+            rc = rc or 2
+    # Absent --compare, timing is machine noise; only a broken
+    # determinism gate fails.
+    return rc
 
 
 def _run_config(args) -> SimulationConfig:

@@ -150,6 +150,104 @@ class BandwidthAllocator(abc.ABC):
             hook(server, requests, rates, now)
         return rates
 
+    def allocate_into(
+        self, server: DataServer, requests: Sequence[Request], now: float
+    ) -> None:
+        """Batched allocation: set ``r.rate`` on every request in place.
+
+        The boundary-event hot path: one vectorized update of the whole
+        schedule instead of building a ``{request_id: rate}`` dict and
+        round-tripping it back onto the requests (two dict operations
+        per stream per event).  The arithmetic — floor sum order,
+        candidate order, spare distribution — is exactly
+        :meth:`allocate`'s; the equivalence is pinned by property tests
+        (``tests/test_schedulers.py``).
+
+        Subclasses that override :meth:`allocate` (the intermittent
+        allocator) and allocators with an ``obs_hook`` attached fall
+        back to the dict path automatically, so this is always safe to
+        call.
+        """
+        if (
+            self.obs_hook is not None
+            or type(self).allocate is not BandwidthAllocator.allocate
+        ):
+            rates = self.allocate(server, requests, now)
+            for r in requests:
+                r.rate = rates[r.request_id]
+            return
+        base = 0.0
+        live: List[Request] = []
+        live_append = live.append
+        for r in requests:
+            if now < r.paused_until:
+                r.rate = 0.0
+                continue
+            vb = r.view_bandwidth
+            if r.playback_pause_time <= now:
+                viewed = (r.playback_pause_time - r.playback_start) * vb
+                head = min(
+                    r.client.buffer_capacity - (r.bytes_sent - viewed),
+                    r.video.size - r.bytes_sent,
+                )
+                if head <= EPS_MB:
+                    r.rate = 0.0
+                    continue
+            r.rate = vb
+            base += vb
+            live_append(r)
+        if base > server.bandwidth + EPS_MB:
+            raise RuntimeError(
+                f"minimum-flow violated on server {server.server_id}: "
+                f"floor {base:.3f} > link {server.bandwidth:.3f} Mb/s"
+            )
+        spare = server.bandwidth - base
+        if spare > EPS_RATE and live:
+            candidates = self._scratch
+            if candidates is None:
+                candidates = []
+            else:
+                self._scratch = None  # guard against re-entrant use
+                candidates.clear()
+            append = candidates.append
+            for r in live:
+                vb = r.view_bandwidth
+                client = r.client
+                extra_cap = client.receive_bandwidth - vb
+                if extra_cap <= EPS_RATE:
+                    continue
+                sent = r.bytes_sent
+                remaining = r.video.size - sent
+                if remaining <= EPS_MB:
+                    continue
+                pause = r.playback_pause_time
+                played_until = now if now < pause else pause
+                head = client.buffer_capacity - (
+                    sent - (played_until - r.playback_start) * vb
+                )
+                if head <= EPS_MB:
+                    continue
+                append((remaining, r.request_id, r, extra_cap))
+            if candidates:
+                self._distribute_spare_into(candidates, spare)
+            candidates.clear()  # drop Request refs before parking
+            self._scratch = candidates
+
+    def _distribute_spare_into(
+        self, candidates: List[Candidate], spare: float
+    ) -> None:
+        """In-place twin of :meth:`_distribute_spare`: add spare onto
+        ``r.rate`` directly.
+
+        Generic fallback: run the dict-based hook over just the
+        candidates (a few entries) and write the results back.
+        Subclasses on the hot path (EFTF) override with a direct loop.
+        """
+        rates = {c[1]: c[2].rate for c in candidates}
+        self._distribute_spare(rates, candidates, spare)
+        for _remaining, rid, r, _cap in candidates:
+            r.rate = rates[rid]
+
     @abc.abstractmethod
     def _distribute_spare(
         self,
@@ -177,6 +275,18 @@ class EFTFAllocator(BandwidthAllocator):
         for _remaining, rid, _r, extra_cap in candidates:
             extra = spare if spare < extra_cap else extra_cap
             rates[rid] += extra
+            spare -= extra
+            if spare <= EPS_RATE:
+                break
+
+    def _distribute_spare_into(self, candidates, spare):
+        # Direct twin of _distribute_spare (the default allocator's
+        # per-boundary-event path): same sort, same caps, same
+        # early-out — writing r.rate instead of a dict slot.
+        candidates.sort()
+        for _remaining, _rid, r, extra_cap in candidates:
+            extra = spare if spare < extra_cap else extra_cap
+            r.rate += extra
             spare -= extra
             if spare <= EPS_RATE:
                 break

@@ -66,6 +66,9 @@ class TransmissionManager:
         self.tracer = tracer
         self._event: Optional[Event] = None
         self.reallocations = 0
+        #: Trace tag for boundary events, built once — the f-string
+        #: used to be formatted per scheduled boundary (per event).
+        self._boundary_kind = f"tx-boundary:srv{server.server_id}"
 
     # ------------------------------------------------------------------
     # External triggers
@@ -140,6 +143,14 @@ class TransmissionManager:
         stream integrated to *now* — it skips re-listing and a
         redundant zero-dt sync pass, which is pure overhead at one
         reallocation per event.
+
+        The allocator runs through :meth:`BandwidthAllocator
+        .allocate_into`, which updates every stream's rate in one
+        batched pass (no per-stream rate-dict round-trip); when N
+        streams hit their boundaries at the same timestamp, this one
+        event re-integrates and re-allocates all of them together —
+        there is never more than one boundary event per server on the
+        agenda (pinned by tests).
         """
         self.reallocations += 1
         if _synced_active is None:
@@ -147,9 +158,7 @@ class TransmissionManager:
             self._sync_all(active, now)
         else:
             active = _synced_active
-        rates = self.allocator.allocate(self.server, active, now)
-        for r in active:
-            r.rate = rates[r.request_id]
+        self.allocator.allocate_into(self.server, active, now)
         self._schedule_boundary(now, active)
 
     def _schedule_boundary(self, now: float, active) -> None:
@@ -161,7 +170,7 @@ class TransmissionManager:
             self._event = self.engine.schedule_at(
                 max(boundary, now),
                 self._on_boundary,
-                kind=f"tx-boundary:srv{self.server.server_id}",
+                kind=self._boundary_kind,
             )
 
     def _next_boundary(self, now: float, active) -> Optional[float]:

@@ -7,27 +7,38 @@ hundred milliseconds per simulated hour, so experiments take a
 variable) that proportionally shrinks duration and trial count while
 preserving the curve shapes.  Each recorded result notes its scale.
 
-Parallelism is **grid-level**: :func:`run_sweep` flattens the whole
-(x × variant × trial) grid into one task list and dispatches it to a
-single :class:`~concurrent.futures.ProcessPoolExecutor` created once
-per sweep, so every independent simulation in a figure — not just the
-trials of one data point — runs concurrently (``REPRO_WORKERS``
-overrides the worker count).  Results are reassembled in grid order
-regardless of completion order, and per the Section 4.1 methodology
-the same trial seeds are reused across variants (common random
-numbers), which pairs the comparisons and sharpens curve separations
-at small trial counts — so parallel and serial execution are
-bit-identical (enforced by tests).  When ``REPRO_WORKERS=1`` or an
-observability switch is active (:func:`repro.obs.runtime.obs_active`),
-the sweep falls back to in-process serial execution in strict grid
-order so traces and profiles aggregate correctly in one process.
+Parallelism is **grid-level and chunked**: :func:`run_sweep` flattens
+the whole (x × variant × trial) grid into one task list, slices it
+into contiguous chunks of several grid cells, and dispatches the
+chunks to a **process-persistent** :class:`~concurrent.futures
+.ProcessPoolExecutor` — created on the first parallel sweep and reused
+by every later sweep in the process, so workers are warmed (interpreter
+started, ``repro`` imported) exactly once (``REPRO_WORKERS`` overrides
+the worker count).  Chunking amortizes task dispatch and result
+transport: a worker returns one compact ``(index, metric value)``
+payload per chunk instead of pickling a full
+:class:`~repro.simulation.SimulationResult` per grid cell.  Results
+are slotted by grid index regardless of completion order, and per the
+Section 4.1 methodology the same trial seeds are reused across
+variants (common random numbers), which pairs the comparisons and
+sharpens curve separations at small trial counts — so parallel and
+serial execution are bit-identical (enforced by tests).  When
+``REPRO_WORKERS=1`` or an observability switch is active
+(:func:`repro.obs.runtime.obs_active`), the sweep falls back to
+in-process serial execution in strict grid order so traces and
+profiles aggregate correctly in one process.
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -132,6 +143,92 @@ def _run_one(config: SimulationConfig) -> SimulationResult:
     return Simulation(config).run()
 
 
+def _run_chunk(chunk, metric):
+    """Process-pool worker: run a chunk of ``(index, config)`` tasks.
+
+    Returns compact ``(index, "ok", metric value)`` /
+    ``(index, "err", exception)`` triples — one small list crosses the
+    pipe per chunk instead of a pickled
+    :class:`~repro.simulation.SimulationResult` per grid cell.
+    Per-task failures are captured rather than raised so one bad cell
+    doesn't discard its chunk-mates' finished work; the parent retries
+    failed cells in-process.
+    """
+    out = []
+    for index, config in chunk:
+        try:
+            value = getattr(Simulation(config).run(), metric)
+        except Exception as exc:
+            out.append((index, "err", exc))
+        else:
+            out.append((index, "ok", value))
+    return out
+
+
+def _noop() -> None:
+    """Pool-warming task (see :func:`warm_pool`)."""
+
+
+#: Target chunks per worker: >1 so a slow chunk doesn't straggle the
+#: sweep (work stealing via the shared task queue), small enough that
+#: dispatch/transport overhead stays amortized.
+_CHUNKS_PER_WORKER = 4
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-persistent worker pool.
+
+    Created lazily on first use and reused by every later parallel
+    sweep / trial run in this process, so worker warm-up (interpreter
+    start, ``repro`` import) is paid exactly once.  Recreated when the
+    requested worker count changes; discarded when broken or
+    interrupted (see callers).
+    """
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers != workers:
+        shutdown_pool(wait=False)
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool(wait: bool = True) -> None:
+    """Shut down the persistent worker pool (no-op when none exists).
+
+    Registered via ``atexit``; tests and benchmarks also call it to
+    reset pool state between measurements.
+    """
+    global _pool, _pool_workers
+    pool, _pool, _pool_workers = _pool, None, 0
+    if pool is not None:
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+atexit.register(shutdown_pool, wait=False)
+
+
+def warm_pool(workers: Optional[int] = None) -> int:
+    """Spin the persistent pool up and wait until every worker is live.
+
+    Submits one no-op task per worker and blocks on the results, so a
+    subsequent sweep measures steady-state throughput rather than
+    worker start-up.  Returns the resolved worker count (<= 1 means no
+    pool was created).
+    """
+    if workers is None:
+        workers = _worker_count()
+    if workers <= 1:
+        return workers
+    pool = _get_pool(workers)
+    for future in [pool.submit(_noop) for _ in range(workers)]:
+        future.result()
+    return workers
+
+
 class SweepCellError(RuntimeError):
     """A sweep grid cell failed twice (original run + in-process retry).
 
@@ -204,17 +301,23 @@ def run_trials(
     """Run *trials* independent replications of *config*.
 
     Trial ``i`` uses seed ``base_seed + i * 7919`` — the same seeds are
-    shared by every variant in a sweep (common random numbers).
-    Processes are used when multiple CPUs are available.  (Sweeps do not
-    call this: :func:`run_sweep` parallelises over its whole grid with
-    one shared pool instead.)
+    shared by every variant in a sweep (common random numbers).  The
+    persistent process pool is used when multiple CPUs are available.
+    (Sweeps do not call this: :func:`run_sweep` parallelises over its
+    whole grid instead.)
     """
     configs = _trial_configs(config, trials, base_seed)
     workers = min(_worker_count(), len(configs))
     if workers <= 1:
         return [_run_one(c) for c in configs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_one, configs))
+    try:
+        return list(_get_pool(workers).map(_run_one, configs))
+    except BrokenExecutor:
+        # A worker died mid-run (OOM kill, interpreter crash): discard
+        # the broken pool and finish in-process rather than losing the
+        # call.
+        shutdown_pool(wait=False)
+        return [_run_one(c) for c in configs]
 
 
 @dataclass
@@ -277,13 +380,14 @@ def run_sweep(
 ) -> SweepResult:
     """Run a full (x × variant × trial) grid and summarise.
 
-    The grid is flattened into one task list and dispatched to a single
-    persistent process pool (created once per sweep), so every
-    independent simulation runs concurrently; results are reassembled
-    in grid order, making the output bit-identical to a serial run.
-    With one worker (``REPRO_WORKERS=1``, a single CPU, or an active
-    observability switch) the tasks run in-process in strict grid
-    order instead.
+    The grid is flattened into one task list, sliced into contiguous
+    chunks of several cells, and dispatched to the process-persistent
+    pool (workers warmed once, reused across sweeps), so every
+    independent simulation runs concurrently; measured values come back
+    as compact per-chunk payloads and are slotted by grid index, making
+    the output bit-identical to a serial run.  With one worker
+    (``REPRO_WORKERS=1``, a single CPU, or an active observability
+    switch) the tasks run in-process in strict grid order instead.
 
     Args:
         base: config template (duration/warmup are overwritten from
@@ -345,6 +449,7 @@ def run_sweep(
 
     cell_stats: Dict[_CellKey, SummaryStats] = {}
     workers = min(_worker_count(), len(tasks))
+    chunk_size = 0
     if workers <= 1:
         # Serial fallback: in-process, strict grid order — required for
         # obs aggregation (traces/profiles accumulate in this process).
@@ -362,44 +467,79 @@ def run_sweep(
                 emit(key, cell_stats[key])
                 values = []
     else:
-        # One persistent pool for the whole sweep; workers are reused
-        # across grid points.  Futures complete in any order — measured
-        # values are slotted by (cell, trial) and each cell is
-        # summarised (and reported) once its last trial lands.
+        # Chunked dispatch on the process-persistent pool: contiguous
+        # grid-order slices of several cells per submitted task, so
+        # dispatch and result transport are amortized and a worker
+        # ships one compact payload per chunk.  Chunks complete in any
+        # order — measured values are slotted by (cell, trial) and each
+        # cell is summarised (and reported) once its last trial lands.
         cell_values: Dict[_CellKey, List[Optional[float]]] = {}
         cell_remaining: Dict[_CellKey, int] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            try:
-                futures = {
-                    pool.submit(_run_one, config): (key, ti, config)
-                    for key, ti, config in tasks
-                }
-                for future in as_completed(futures):
-                    key, ti, config = futures[future]
-                    try:
-                        result = future.result()
-                    except KeyboardInterrupt:
-                        raise
-                    except Exception as exc:
-                        # One in-process retry rescues transient worker
-                        # deaths without losing the rest of the sweep.
+        chunk_size = max(
+            1, -(-len(tasks) // (workers * _CHUNKS_PER_WORKER))
+        )
+        indexed = list(enumerate(tasks))
+        chunks = [
+            indexed[i:i + chunk_size]
+            for i in range(0, len(indexed), chunk_size)
+        ]
+        pool = _get_pool(workers)
+        broken = False
+        try:
+            futures = {
+                pool.submit(
+                    _run_chunk,
+                    [(gi, config) for gi, (_key, _ti, config) in chunk],
+                    metric,
+                ): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    outcomes = future.result()
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    # Whole-chunk failure: the worker died before
+                    # returning (or the payload didn't unpickle).  Rerun
+                    # the chunk's cells in-process with the usual retry
+                    # semantics so the sweep still completes.
+                    if isinstance(exc, BrokenExecutor):
+                        broken = True
+                    outcomes = []
+                    for gi, (key, ti, config) in chunk:
                         result = _retry_cell(
                             config, describe_cell(key, ti), exc
                         )
+                        outcomes.append(
+                            (gi, "ok", getattr(result, metric))
+                        )
+                for gi, status, value in outcomes:
+                    key, ti, config = tasks[gi]
+                    if status != "ok":
+                        # One in-process retry rescues a transient cell
+                        # failure without losing the rest of the sweep.
+                        result = _retry_cell(
+                            config, describe_cell(key, ti), value
+                        )
+                        value = getattr(result, metric)
                     slots = cell_values.setdefault(
                         key, [None] * scale.trials
                     )
-                    slots[ti] = getattr(result, metric)
+                    slots[ti] = value
                     left = cell_remaining.get(key, scale.trials) - 1
                     cell_remaining[key] = left
                     if left == 0:
                         cell_stats[key] = summarize(slots)
                         emit(key, cell_stats[key])
-            except KeyboardInterrupt:
-                # Without this, the context manager's shutdown(wait=True)
-                # blocks until every queued simulation finishes.
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+        except KeyboardInterrupt:
+            # Cancel queued chunks and discard the pool (its workers may
+            # hold half-run simulations) instead of hanging on exit.
+            shutdown_pool(wait=False)
+            raise
+        if broken:
+            shutdown_pool(wait=False)
 
     curves: Dict[str, List[SummaryStats]] = {
         variant.label: [
@@ -422,6 +562,7 @@ def run_sweep(
                 "x_field": x_field,
                 "workers": workers,
                 "executor": "serial" if workers <= 1 else "parallel",
+                "chunk_size": chunk_size or None,
                 "trial_seeds": trial_seeds(scale.trials, base_seed),
             },
         ),

@@ -1,19 +1,34 @@
 """The discrete-event simulation engine.
 
-The engine owns the simulation clock and the event agenda (a binary
-heap).  Design decisions that matter for the reproduction:
+The engine owns the simulation clock and delegates the event agenda to
+a pluggable :class:`~repro.sim.scheduler.EventScheduler` (a binary heap
+by default; a calendar queue for very deep agendas — select via
+``Engine(scheduler=...)`` or the ``REPRO_SCHEDULER`` environment
+variable).  Design decisions that matter for the reproduction:
 
 * **Determinism** — events at equal timestamps fire in scheduling order
-  (FIFO via a sequence counter).  Combined with named RNG substreams
-  (:mod:`repro.sim.rng`) this makes every experiment bit-reproducible
-  from its seed.
+  (FIFO via a sequence counter).  Agenda entries are ``(time, seq,
+  event)`` tuples, so every ordering comparison runs in C and every
+  scheduler implementation pops the identical ``(time, seq)`` sequence
+  (enforced by a hypothesis property).  Combined with named RNG
+  substreams (:mod:`repro.sim.rng`) this makes every experiment
+  bit-reproducible from its seed.
 * **Lazy cancellation** — the admission/EFTF machinery reschedules a
   request's "next event" every time its bandwidth allocation changes; a
-  naive heap-removal would be O(n).  Cancelled events are skipped when
-  popped instead.
+  naive in-structure removal would be O(n).  Cancelled events are
+  skipped (and counted) when popped instead.
 * **Bounded runs** — ``run_until(t)`` advances the clock to exactly
   ``t`` even if the agenda empties earlier, so utilization denominators
   are well-defined.
+
+Hot-path notes: ``run_until`` dispatches to the scheduler's
+:meth:`~repro.sim.scheduler.EventScheduler.drain` loop (specialized per
+structure — see that module's docstring for why), and ``schedule``
+constructs :class:`Event` handles without a Python-level ``__init__``
+call.  Engine state accessed per event lives in ``__slots__``.  The
+``_trace_fns`` list object is never reassigned after construction —
+drain loops bind it once and rely on mutations (``add_trace`` /
+``remove_trace``) staying visible mid-run.
 
 The engine deliberately knows nothing about video servers; it is a
 general substrate (and is tested as one).
@@ -21,17 +36,25 @@ general substrate (and is tested as one).
 
 from __future__ import annotations
 
-import heapq
 import warnings
+from heapq import heappush as _heappush
 from time import perf_counter
 from typing import Any, Callable, Iterator, List, Optional
 
 from repro.sim.events import Event, EventState
+from repro.sim.scheduler import (
+    EventScheduler,
+    HeapScheduler,
+    resolve_scheduler,
+)
 
-#: Module-level binding: the hot loop tests ``event._state is _PENDING``
-#: directly rather than through the ``Event.pending`` property (a
-#: descriptor call per event is measurable at millions of events).
+#: Module-level bindings: the hot paths test ``event._state is
+#: _PENDING`` directly rather than through the ``Event.pending``
+#: property (a descriptor call per event is measurable at millions of
+#: events), and build handles via ``object.__new__`` (skipping the
+#: ``Event.__init__`` frame, also measurable).
 _PENDING = EventState.PENDING
+_new_event = object.__new__
 
 
 class SimulationError(RuntimeError):
@@ -40,6 +63,13 @@ class SimulationError(RuntimeError):
 
 class Engine:
     """Event loop with a monotonic clock.
+
+    Args:
+        start_time: initial clock value.
+        scheduler: agenda implementation — an
+            :class:`~repro.sim.scheduler.EventScheduler` instance, a
+            registry key (``"heap"``, ``"calendar"``), or None to use
+            ``REPRO_SCHEDULER`` / the heap default.
 
     Example:
         >>> eng = Engine()
@@ -50,9 +80,22 @@ class Engine:
         (10.0, [5.0])
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    __slots__ = (
+        "_now", "_sched", "_heap", "_seq", "_events_fired",
+        "_events_cancelled", "_running", "_trace_fns", "_trace_shim",
+        "profiler",
+    )
+
+    def __init__(self, start_time: float = 0.0, scheduler=None) -> None:
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        self._sched: EventScheduler = resolve_scheduler(scheduler)
+        #: Fast-path seam: when the agenda is a plain HeapScheduler,
+        #: ``schedule``/``schedule_at`` push straight onto its list with
+        #: the C ``heappush`` instead of a Python method call.  Any
+        #: subclass (or other scheduler) goes through ``push()``.
+        self._heap = (
+            self._sched._heap if type(self._sched) is HeapScheduler else None
+        )
         self._seq = 0
         self._events_fired = 0
         self._events_cancelled = 0
@@ -60,6 +103,7 @@ class Engine:
         #: Subscribers called as ``fn(event)`` just before each event
         #: fires — debugging, test instrumentation, and the obs tracer
         #: coexist here.  Manage via :meth:`add_trace`/:meth:`remove_trace`.
+        #: The list object is never replaced (drain loops bind it once).
         self._trace_fns: List[Callable[[Event], None]] = []
         self._trace_shim: Optional[Callable[[Event], None]] = None
         #: Optional :class:`repro.obs.profiler.EventProfiler`; when set,
@@ -76,6 +120,11 @@ class Engine:
         return self._now
 
     @property
+    def scheduler(self) -> EventScheduler:
+        """The agenda implementation in use."""
+        return self._sched
+
+    @property
     def events_fired(self) -> int:
         """Number of events executed so far."""
         return self._events_fired
@@ -89,7 +138,7 @@ class Engine:
     def pending_count(self) -> int:
         """Number of events currently on the agenda (including cancelled
         handles not yet popped)."""
-        return len(self._heap)
+        return len(self._sched)
 
     # ------------------------------------------------------------------
     # Trace subscribers
@@ -135,14 +184,15 @@ class Engine:
 
         Pops and discards dead (cancelled) handles encountered on the way.
         """
-        heap = self._heap
-        while heap:
-            head = heap[0]
-            if head._state is _PENDING:
-                return head.time
-            heapq.heappop(heap)
+        sched = self._sched
+        while True:
+            entry = sched.peek()
+            if entry is None:
+                return None
+            if entry[2]._state is _PENDING:
+                return entry[0]
+            sched.pop()
             self._events_cancelled += 1
-        return None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -170,7 +220,23 @@ class Engine:
         """
         if not delay >= 0.0:  # also catches NaN
             raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
-        return self.schedule_at(self._now + delay, callback, payload, kind)
+        # Inlined schedule_at: this is called once per event fired, so
+        # the extra frame and the Event.__init__ frame are both skipped.
+        time = float(self._now + delay)
+        self._seq = seq = self._seq + 1
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.payload = payload
+        event.kind = kind
+        event._state = _PENDING
+        heap = self._heap
+        if heap is not None:
+            _heappush(heap, (time, seq, event))
+        else:
+            self._sched.push((time, seq, event))
+        return event
 
     def schedule_at(
         self,
@@ -184,9 +250,20 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time!r} before now={self._now!r}"
             )
-        self._seq += 1
-        event = Event(float(time), self._seq, callback, payload, kind)
-        heapq.heappush(self._heap, event)
+        time = float(time)
+        self._seq = seq = self._seq + 1
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.payload = payload
+        event.kind = kind
+        event._state = _PENDING
+        heap = self._heap
+        if heap is not None:
+            _heappush(heap, (time, seq, event))
+        else:
+            self._sched.push((time, seq, event))
         return event
 
     # ------------------------------------------------------------------
@@ -198,14 +275,16 @@ class Engine:
         Returns:
             True if an event fired, False if the agenda was empty.
         """
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            event = pop(heap)
+        sched = self._sched
+        while True:
+            entry = sched.pop()
+            if entry is None:
+                return False
+            event = entry[2]
             if event._state is not _PENDING:
                 self._events_cancelled += 1
                 continue
-            self._now = event.time
+            self._now = entry[0]
             if self._trace_fns:
                 for fn in self._trace_fns:
                     fn(event)
@@ -218,7 +297,6 @@ class Engine:
                 event._fire()
                 profiler.record(event.kind, perf_counter() - t0)
             return True
-        return False
 
     def run_until(self, until: float) -> None:
         """Run events with ``time <= until`` and leave the clock at *until*.
@@ -226,13 +304,13 @@ class Engine:
         Events scheduled exactly at *until* do fire.  The clock never
         moves backwards: if *until* is in the past this raises.
 
-        This is the simulator's outermost hot loop, so the peek/step
-        pair is fused into a single heap pass: each head is examined
-        exactly once — dead handles are popped and counted, the first
-        live head beyond *until* ends the run while staying on the
-        agenda, and everything else fires.  The cancellation accounting
-        is identical to interleaved :meth:`peek_time`/:meth:`step`
-        calls (each dead handle counted exactly once).
+        This is the simulator's outermost hot loop; the actual pass is
+        the scheduler's :meth:`~repro.sim.scheduler.EventScheduler.drain`,
+        specialized per agenda structure.  The contract (identical for
+        every scheduler, enforced by tests): each agenda head is
+        examined exactly once — dead handles are popped and counted,
+        the first live head beyond *until* ends the run while staying
+        on the agenda, and everything else fires.
         """
         if not until >= self._now:
             raise SimulationError(
@@ -241,32 +319,8 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
-        heap = self._heap
-        pop = heapq.heappop
-        timer = perf_counter
         try:
-            while heap:
-                event = heap[0]
-                if event._state is not _PENDING:
-                    pop(heap)
-                    self._events_cancelled += 1
-                    continue
-                if event.time > until:
-                    break
-                pop(heap)
-                self._now = event.time
-                trace_fns = self._trace_fns
-                if trace_fns:
-                    for fn in trace_fns:
-                        fn(event)
-                self._events_fired += 1
-                profiler = self.profiler
-                if profiler is None:
-                    event._fire()
-                else:
-                    t0 = timer()
-                    event._fire()
-                    profiler.record(event.kind, timer() - t0)
+            self._sched.drain(self, until)
             self._now = float(until)
         finally:
             self._running = False
@@ -287,7 +341,9 @@ class Engine:
     # ------------------------------------------------------------------
     def iter_pending(self) -> Iterator[Event]:
         """Yield pending events in an unspecified order (debug only)."""
-        return (e for e in self._heap if e.pending)
+        return (
+            entry[2] for entry in self._sched.entries() if entry[2].pending
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

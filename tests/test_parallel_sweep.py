@@ -3,8 +3,9 @@
 The contract under test: parallel execution is an *implementation
 detail* — a sweep dispatched to a process pool must be bit-identical
 to the same sweep run serially in-process (same curves, same seeds,
-same summaries), the pool must be created exactly once per sweep, and
-observability switches must force the serial in-process fallback.
+same summaries), the process-persistent pool must be created exactly
+once and reused across sweeps, and observability switches must force
+the serial in-process fallback.
 """
 
 from __future__ import annotations
@@ -109,17 +110,46 @@ class _CountingPool:
 
 class TestPoolLifecycle:
     @pytest.fixture(autouse=True)
-    def _reset_counter(self):
+    def _fresh_pool_state(self):
+        # The pool is process-persistent: reset it so construction
+        # counts are deterministic, and again afterwards so no pool
+        # built under a monkeypatched class leaks into other tests.
+        base_mod.shutdown_pool()
         _CountingPool.instances = 0
         yield
+        base_mod.shutdown_pool()
 
-    def test_pool_created_at_most_once_per_sweep(self, monkeypatch):
+    def test_pool_created_once_and_reused_across_sweeps(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "2")
         monkeypatch.setattr(
             base_mod,
             "ProcessPoolExecutor",
             _CountingPool(base_mod.ProcessPoolExecutor),
         )
+        tiny_sweep()
+        tiny_sweep(base_seed=7)
+        assert _CountingPool.instances == 1
+
+    def test_pool_recreated_when_worker_count_changes(self, monkeypatch):
+        monkeypatch.setattr(
+            base_mod,
+            "ProcessPoolExecutor",
+            _CountingPool(base_mod.ProcessPoolExecutor),
+        )
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        tiny_sweep()
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        tiny_sweep()
+        assert _CountingPool.instances == 2
+
+    def test_warm_pool_counts_as_the_one_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setattr(
+            base_mod,
+            "ProcessPoolExecutor",
+            _CountingPool(base_mod.ProcessPoolExecutor),
+        )
+        assert base_mod.warm_pool() == 2
         tiny_sweep()
         assert _CountingPool.instances == 1
 
@@ -131,6 +161,7 @@ class TestPoolLifecycle:
             _CountingPool(base_mod.ProcessPoolExecutor),
         )
         tiny_sweep()
+        assert base_mod.warm_pool() == 1
         assert _CountingPool.instances == 0
 
     def test_obs_active_forces_serial_fallback(self, monkeypatch, tmp_path):
@@ -154,10 +185,21 @@ class TestProvenance:
         result = tiny_sweep()
         assert result.provenance["workers"] == 2
         assert result.provenance["executor"] == "parallel"
+        # 8 tasks over 2 workers × 4 chunks/worker → 1 task per chunk.
+        assert result.provenance["chunk_size"] == 1
         monkeypatch.setenv("REPRO_WORKERS", "1")
         result = tiny_sweep()
         assert result.provenance["workers"] == 1
         assert result.provenance["executor"] == "serial"
+        assert result.provenance["chunk_size"] is None
+
+    def test_chunks_cover_grids_larger_than_the_pool(self, monkeypatch):
+        # 2θ × 2 variants × 5 trials = 20 tasks on 2 workers → chunks
+        # of 3; every cell must still land exactly once.
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        result = tiny_sweep(trials=5)
+        assert result.provenance["chunk_size"] == 3
+        assert all(len(curve) == 2 for curve in result.curves.values())
 
 
 class TestCellFailureHandling:

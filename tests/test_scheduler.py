@@ -1,0 +1,220 @@
+"""The pluggable event-agenda implementations (repro.sim.scheduler).
+
+The contract under test: every scheduler pops the exact ``(time, seq)``
+sequence a binary heap would — including FIFO tie-breaks at equal
+timestamps — so swapping the agenda structure can never change a
+simulation's behavior.  The calendar queue's internals (bucket wrap,
+ring growth, sparse-region jumps) are exercised explicitly, and a full
+fig4-shaped run is pinned identical under either scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.scheduler import (
+    SCHEDULERS,
+    CalendarScheduler,
+    EventScheduler,
+    HeapScheduler,
+    resolve_scheduler,
+)
+
+
+def drain_all(sched: EventScheduler):
+    out = []
+    while True:
+        entry = sched.pop()
+        if entry is None:
+            return out
+        out.append(entry)
+
+
+class TestPopOrderProperty:
+    """Calendar pops in exactly heap order, for any push/pop interleave."""
+
+    # Small time domain → plenty of exact timestamp collisions, so the
+    # (time, seq) FIFO tie-break is genuinely exercised.
+    times = st.lists(
+        st.floats(
+            min_value=0.0, max_value=8.0,
+            allow_nan=False, allow_infinity=False,
+        ).map(lambda t: round(t, 1)),
+        min_size=0, max_size=120,
+    )
+
+    @settings(max_examples=200, deadline=None)
+    @given(times=times, width=st.sampled_from([0.25, 1.0, 3.0]),
+           buckets=st.sampled_from([1, 2, 8]))
+    def test_push_all_pop_all_matches_heap(self, times, width, buckets):
+        heap = HeapScheduler()
+        cal = CalendarScheduler(bucket_width=width, n_buckets=buckets)
+        for seq, t in enumerate(times):
+            heap.push((t, seq, None))
+            cal.push((t, seq, None))
+        expected = drain_all(heap)
+        assert drain_all(cal) == expected
+        # The reference itself is exactly heapq, i.e. sorted (seq ties
+        # are impossible: seq is unique).
+        assert expected == sorted(expected, key=lambda e: (e[0], e[1]))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.floats(
+                    min_value=0.0, max_value=8.0,
+                    allow_nan=False, allow_infinity=False,
+                ).map(lambda t: round(t, 1)),
+                st.none(),  # None = pop
+            ),
+            min_size=0, max_size=120,
+        )
+    )
+    def test_interleaved_push_pop_matches_heap(self, ops):
+        """Pops interleave with pushes — and pushed times may precede
+        the consumption cursor's epoch, the calendar's trickiest path.
+        A pushed time is clamped to >= the last pop (the engine never
+        schedules in the past)."""
+        heap = HeapScheduler()
+        cal = CalendarScheduler(bucket_width=0.5, n_buckets=4)
+        seq = 0
+        floor = 0.0
+        for op in ops:
+            if op is None:
+                a, b = heap.pop(), cal.pop()
+                assert a == b
+                if a is not None:
+                    floor = a[0]
+            else:
+                seq += 1
+                entry = (max(op, floor), seq, None)
+                heap.push(entry)
+                cal.push(entry)
+            assert len(heap) == len(cal)
+            assert heap.peek() == cal.peek()
+        assert drain_all(cal) == drain_all(heap)
+
+
+class TestCalendarInternals:
+    def test_ring_grows_with_density(self):
+        cal = CalendarScheduler(bucket_width=1.0, n_buckets=2)
+        entries = [(float(i % 13), i, None) for i in range(200)]
+        for e in entries:
+            cal.push(e)
+        assert len(cal) == 200
+        assert drain_all(cal) == sorted(entries, key=lambda e: e[:2])
+
+    def test_bucket_wrap_separates_epochs(self):
+        # Ring of 2 width-1.0 buckets: t=0.5 and t=2.5 share a bucket
+        # index but belong to different laps; 2.5 must not fire early.
+        cal = CalendarScheduler(bucket_width=1.0, n_buckets=2)
+        cal.push((2.5, 1, None))
+        cal.push((0.5, 2, None))
+        cal.push((1.5, 3, None))
+        assert [e[0] for e in drain_all(cal)] == [0.5, 1.5, 2.5]
+
+    def test_sparse_jump_skips_empty_laps(self):
+        # A lone far-future entry: the cursor must jump straight to its
+        # epoch rather than scan millions of empty buckets.
+        cal = CalendarScheduler(bucket_width=1.0, n_buckets=4)
+        cal.push((1e6, 1, None))
+        assert cal.pop() == (1e6, 1, None)
+        assert cal.pop() is None
+
+    def test_peek_does_not_consume(self):
+        cal = CalendarScheduler()
+        cal.push((3.0, 1, None))
+        assert cal.peek() == (3.0, 1, None)
+        assert cal.peek() == (3.0, 1, None)
+        assert len(cal) == 1
+        assert cal.pop() == (3.0, 1, None)
+        assert cal.peek() is None
+
+    def test_entries_iterates_everything(self):
+        cal = CalendarScheduler(bucket_width=1.0, n_buckets=2)
+        pushed = {(float(i), i, None) for i in range(10)}
+        for e in pushed:
+            cal.push(e)
+        assert set(cal.entries()) == pushed
+
+
+class TestSelection:
+    def test_registry_names(self):
+        assert set(SCHEDULERS.names()) >= {"heap", "calendar"}
+
+    def test_engine_accepts_key_instance_and_default(self):
+        assert isinstance(Engine().scheduler, HeapScheduler)
+        assert isinstance(
+            Engine(scheduler="calendar").scheduler, CalendarScheduler
+        )
+        sched = CalendarScheduler(bucket_width=2.0)
+        assert Engine(scheduler=sched).scheduler is sched
+
+    def test_env_var_selects_scheduler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        assert isinstance(Engine().scheduler, CalendarScheduler)
+        monkeypatch.delenv("REPRO_SCHEDULER")
+        assert isinstance(Engine().scheduler, HeapScheduler)
+
+    def test_unknown_key_is_a_clear_error(self):
+        with pytest.raises(KeyError):
+            resolve_scheduler("splay-tree")
+
+    def test_heapify_entries_round_trip(self):
+        from repro.sim.scheduler import heapify_entries
+
+        entries = [(float(9 - i), i, None) for i in range(10)]
+        heap = heapify_entries(list(entries))
+        assert [heapq.heappop(heap) for _ in range(10)] == sorted(
+            entries, key=lambda e: e[:2]
+        )
+
+
+class TestEngineEquivalence:
+    """The same model run on either agenda is indistinguishable."""
+
+    @staticmethod
+    def _chain_run(scheduler):
+        engine = Engine(scheduler=scheduler)
+        fired = []
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            fired.append((engine.now, state["n"]))
+            if state["n"] < 500:
+                engine.schedule(0.7 * (state["n"] % 5) + 0.1, tick)
+                if state["n"] % 7 == 0:
+                    engine.schedule(0.3, tick).cancel()
+
+        engine.schedule(1.0, tick)
+        engine.run_until(2000.0)
+        return fired, engine.events_fired, engine.events_cancelled
+
+    def test_chain_workload_identical(self):
+        assert self._chain_run("heap") == self._chain_run("calendar")
+
+    def test_fig4_identical_under_either_scheduler(self, monkeypatch):
+        """Regression: a full fig4-shaped run produces bit-identical
+        curves whichever agenda implementation is selected."""
+        from repro import SMALL_SYSTEM
+        from repro.experiments import fig4_drm
+
+        monkeypatch.setenv("REPRO_WORKERS", "1")  # in-process: env applies
+        system = SMALL_SYSTEM.scaled(n_videos=60, name="sched-tiny")
+        results = {}
+        for name in ("heap", "calendar"):
+            monkeypatch.setenv("REPRO_SCHEDULER", name)
+            results[name] = fig4_drm.run_fig4(
+                system=system, theta_values=[-0.5, 0.5],
+                scale=0.001, seed=3,
+            )
+        # SummaryStats are float dataclasses: == means bit-identical.
+        assert results["heap"].curves == results["calendar"].curves
+        assert results["heap"].x_values == results["calendar"].x_values

@@ -159,3 +159,33 @@ class TestBoundaryBookkeeping:
         cluster = one_server_cluster()
         cluster.submit(0, client=make_client())
         assert cluster.managers[0].reallocations >= 1
+
+
+class TestBatchedBoundaryAdvance:
+    """N streams hitting boundaries at the same timestamp fold into ONE
+    engine event per server: the single boundary event re-integrates
+    and re-allocates every stream together through allocate_into."""
+
+    def test_one_pending_boundary_event_per_server(self):
+        cluster = one_server_cluster(bandwidth=10.0, allocator="none")
+        for _ in range(4):
+            cluster.submit(0, client=make_client())
+        live = [
+            e for e in cluster.engine.iter_pending()
+            if e.kind.startswith("tx-boundary")
+        ]
+        assert len(live) == 1
+        assert live[0].kind == "tx-boundary:srv0"
+
+    def test_same_timestamp_finishes_fold_into_one_event(self):
+        # 4 identical streams on a 10 Mb/s server under the "none"
+        # allocator: each gets b_view=1.0, so all four finish
+        # transmission at exactly t=100 — one event must retire all.
+        cluster = one_server_cluster(bandwidth=10.0, allocator="none")
+        reqs = [cluster.submit(0, client=make_client())[0] for _ in range(4)]
+        fired_before = cluster.engine.events_fired
+        cluster.engine.run_until(100.0)
+        assert all(r.transmission_finished for r in reqs)
+        # One finish boundary (the fold) plus the post-finish
+        # reallocation pass scheduling nothing: exactly 1 event fired.
+        assert cluster.engine.events_fired - fired_before == 1
