@@ -84,6 +84,14 @@ class FailoverManager:
         #: dropped and counted) — the graceful-degradation retry queue
         #: registers here to capture failure orphans.
         self.on_drop: List[Callable[[Request], None]] = []
+        #: Called with the :class:`FailoverReport` of each *actual*
+        #: server failure (idempotent re-fails do not fire).  The live
+        #: chaos plane registers here to mirror a virtual crash into
+        #: the serving gateway (killing the server's asyncio task).
+        self.on_fail: List[Callable[[FailoverReport], None]] = []
+        #: Called with the server id of each *actual* restore — the
+        #: live analogue warms the server back up.
+        self.on_restore: List[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     def fail_server(self, server_id: int) -> FailoverReport:
@@ -116,6 +124,8 @@ class FailoverManager:
                 self._drop(request, server_id, now)
                 report.dropped.append(request.request_id)
         self.reports.append(report)
+        for hook in self.on_fail:
+            hook(report)
         return report
 
     def restore_server(self, server_id: int) -> None:
@@ -133,6 +143,8 @@ class FailoverManager:
             self.tracer.emit(
                 TraceKind.SERVER_RECOVER, self.engine.now, server=server_id
             )
+        for hook in self.on_restore:
+            hook(server_id)
 
     # ------------------------------------------------------------------
     # Partial degradation (beyond binary fail/restore)

@@ -1,0 +1,249 @@
+"""EXT-CHAOS-SERVE: the live chaos gate — ``repro chaos serve``.
+
+Drives a committed scenario's fault plan against a *running*
+:class:`~repro.serve.gateway.ClusterGateway` over fault-injecting
+transports, with resilient clients, and audits the outcome
+(docs/ROBUSTNESS.md, "live chaos"):
+
+* at least one engine server crash is mirrored into a live gateway
+  task kill (postmortem dumped, task restarted warm);
+* every failover-affected session is reconciled — migrated, recovered
+  via re-request, cleanly rejected, or lost within the bounded retry
+  budget — with nothing unaccounted;
+* zero parity clamps, zero leaked asyncio tasks, zero invariant
+  violations (the scenario runs with ``invariants: true``);
+* run twice (``--runs 2``, the default), the policy decision digests
+  are byte-identical — fault injection, failover and client retries
+  are all drawn from named substreams in virtual time.
+
+Any audit failure exits 1; this is the CI chaos-serve job's gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.cluster.request import reset_request_ids
+from repro.experiments.registry import ExperimentSpec, register
+from repro.faults.retry import RetryPolicy
+from repro.scenario import load_scenario
+from repro.serve.chaos import ToxicConfig, run_chaos_serve
+from repro.serve.config import ServeConfig
+
+#: Default committed scenario (see scenarios/chaos_serve.json).
+DEFAULT_SCENARIO = "scenarios/chaos_serve.json"
+
+
+def audit_report(report: Dict[str, Any]) -> List[str]:
+    """The gate: every way one chaos-serve run can fail, as messages."""
+    problems: List[str] = []
+    if report["invariant_violation"]:
+        problems.append(
+            f"invariant violation: {report['invariant_violation']}"
+        )
+    if report["parity_clamps"]:
+        problems.append(
+            f"{report['parity_clamps']} parity clamp(s): a re-request "
+            f"landed behind the policy clock"
+        )
+    if report["leaked_tasks"]:
+        problems.append(
+            f"leaked asyncio tasks after stop(): {report['leaked_tasks']}"
+        )
+    chaos = report["chaos"]
+    if not chaos["failures"]:
+        problems.append(
+            "no server crash fired — the fault plan never tripped "
+            "(check the scenario's faults block and duration)"
+        )
+    if not chaos["live_kills"]:
+        problems.append(
+            "no live gateway task kill — engine crashes were not "
+            "mirrored into the serving runtime"
+        )
+    recon = report["reconciliation"]
+    if recon["unmatched"]:
+        problems.append(
+            f"unaccounted failover-affected request ids: "
+            f"{recon['unmatched']}"
+        )
+    return problems
+
+
+def run_chaos_serve_cli(args, progress) -> int:
+    """Run the harness ``--runs`` times; audit each; compare digests."""
+    scenario = load_scenario(args.scenario)
+    serve = ServeConfig(
+        port=0,
+        compression=args.compression,
+        # Chaos runs are stress runs: widen the clamp headroom
+        # (startup_slack + guard wall seconds) so a loaded CI box
+        # cannot push an arrival behind the policy clock.
+        guard=0.5,
+        startup_slack=1.0,
+        heartbeat_timeout=args.heartbeat,
+        task_restart_limit=args.restart_limit,
+        retry_margin=args.retry_margin,
+    )
+    retry = RetryPolicy(
+        max_attempts=args.retry_attempts,
+        base_delay=args.retry_base,
+        max_delay=args.retry_base * 8.0,
+        jitter=0.5,
+    )
+    link = ToxicConfig(
+        latency=args.link_latency,
+        jitter=args.link_jitter,
+        stall_every=args.stall_every,
+        stall_seconds=args.stall_seconds,
+    )
+
+    digests: List[str] = []
+    failures: List[str] = []
+    report: Dict[str, Any] = {}
+    for run in range(args.runs):
+        # Request ids are a process-global sequence; the digest covers
+        # them, so every run must start from the same origin.
+        reset_request_ids()
+        report = asyncio.run(run_chaos_serve(
+            scenario.config,
+            serve=serve,
+            retry=retry,
+            gateway_toxic=link,
+            cut_prob=args.cut_prob,
+            max_sessions=args.max_sessions,
+            postmortem=args.postmortem,
+            progress=progress,
+        ))
+        digests.append(report["digest"])
+        for problem in audit_report(report):
+            failures.append(f"run {run + 1}: {problem}")
+        chaos = report["chaos"]
+        recon = report["reconciliation"]
+        load = report["load"]
+        progress(
+            f"chaos serve run {run + 1}/{args.runs}: "
+            f"{len(chaos['failures'])} crash(es), "
+            f"{chaos['live_kills']} live kill(s), "
+            f"{recon['affected']} affected "
+            f"(migrated={len(recon['migrated'])} "
+            f"recovered={len(recon['recovered'])} "
+            f"rejected={len(recon['rejected'])} "
+            f"lost={len(recon['lost'])}), "
+            f"{load['retries']} client retries, "
+            f"digest {report['digest'][:12]}"
+        )
+    if len(set(digests)) > 1:
+        failures.append(
+            f"decision digests diverged across same-seed runs: {digests}"
+        )
+
+    print(json.dumps({
+        "scenario": scenario.name,
+        "runs": args.runs,
+        "digests": digests,
+        "deterministic": len(set(digests)) == 1,
+        "failures": failures,
+        "last": {
+            key: report[key]
+            for key in (
+                "chaos", "reconciliation", "parity_clamps",
+                "leaked_tasks", "invariant_violation", "cuts_planned",
+                "postmortem", "postmortem_dumps",
+            )
+        },
+        "load": {
+            key: report["load"][key]
+            for key in (
+                "sessions", "accepted", "rejected", "errors", "lost",
+                "retries", "error_types", "underruns",
+            )
+        },
+    }, indent=2, sort_keys=True))
+    for failure in failures:
+        print(f"CHAOS SERVE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+def _cli_arguments(parser) -> None:
+    parser.add_argument(
+        "scenario", nargs="?", default=DEFAULT_SCENARIO,
+        help=f"(serve) scenario JSON with a faults block "
+             f"(default {DEFAULT_SCENARIO})",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=2,
+        help="(serve) same-seed repetitions whose decision digests "
+             "must agree",
+    )
+    parser.add_argument(
+        "--compression", type=float, default=40.0,
+        help="(serve) virtual seconds per wall second",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="(serve) cap on generated sessions",
+    )
+    parser.add_argument(
+        "--postmortem", default="chaos_postmortem.jsonl",
+        help="(serve) flight-recorder dump path (every task trip "
+             "rewrites it)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=2.0,
+        help="(serve) supervised-loop heartbeat deadline, wall seconds",
+    )
+    parser.add_argument(
+        "--restart-limit", type=int, default=10,
+        help="(serve) per-task restart budget",
+    )
+    parser.add_argument(
+        "--retry-margin", type=float, default=1.0,
+        help="(serve) wall seconds of virtual headroom on re-requests",
+    )
+    parser.add_argument(
+        "--retry-attempts", type=int, default=4,
+        help="(serve) client retry budget (attempts incl. the first)",
+    )
+    parser.add_argument(
+        "--retry-base", type=float, default=2.0,
+        help="(serve) client backoff base delay, virtual seconds",
+    )
+    parser.add_argument(
+        "--link-latency", type=float, default=0.003,
+        help="(serve) injected per-frame link latency, wall seconds",
+    )
+    parser.add_argument(
+        "--link-jitter", type=float, default=0.5,
+        help="(serve) link latency jitter fraction",
+    )
+    parser.add_argument(
+        "--stall-every", type=int, default=0,
+        help="(serve) stall every Nth frame (0 disables)",
+    )
+    parser.add_argument(
+        "--stall-seconds", type=float, default=0.0,
+        help="(serve) injected stall length, wall seconds",
+    )
+    parser.add_argument(
+        "--cut-prob", type=float, default=0.15,
+        help="(serve) probability a client severs its own connection "
+             "once (deterministic per seed)",
+    )
+
+
+register(ExperimentSpec(
+    name="serve",
+    help="live chaos: run a scenario's fault plan against a running "
+         "gateway with resilient clients; audit failover, leaks and "
+         "same-seed digest identity (exit 1 on any failure)",
+    run_cli=run_chaos_serve_cli,
+    add_arguments=_cli_arguments,
+    order=10,
+), chaos=True)

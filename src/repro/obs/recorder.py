@@ -70,12 +70,19 @@ class FlightRecorder:
     # ------------------------------------------------------------------
     # The dump itself
     # ------------------------------------------------------------------
-    def dump(self, reason: str, detail: Optional[str] = None) -> Path:
+    def dump(
+        self,
+        reason: str,
+        detail: Optional[str] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
         """Write the postmortem file now; returns its path.
 
         Safe to call from a signal handler (pure synchronous I/O) and
         from ``except`` blocks; any failure of the optional *state*
         supplier is embedded as ``state_error`` instead of raising.
+        *extra* (JSON-ready) is merged into the meta record — the task
+        supervisor stamps each trip's task name and restart count here.
         """
         self.dumps += 1
         state: Any = None
@@ -102,6 +109,7 @@ class FlightRecorder:
                 "provenance": self.provenance,
                 "state": state,
                 "state_error": state_error,
+                **(extra or {}),
             },
         )
         with open(self.path, "w") as fh:

@@ -63,6 +63,10 @@ class TraceKind(str, enum.Enum):
     SERVE_STATS = "serve.stats"
     POSTMORTEM_META = "postmortem.meta"
 
+    # -- gateway task supervision (repro.serve.supervisor) -----------
+    TASK_TRIP = "task.trip"
+    TASK_RESTART = "task.restart"
+
     # -- scheduler / stream dynamics ---------------------------------
     SCHED_REALLOC = "sched.realloc"
     STREAM_BUFFER_FULL = "stream.buffer_full"
@@ -101,6 +105,8 @@ KIND_FIELDS: Dict[TraceKind, tuple] = {
                             "chunks"),
     TraceKind.POSTMORTEM_META: ("reason", "provenance", "pid",
                                 "dump_seq"),
+    TraceKind.TASK_TRIP: ("task", "error", "detail", "restarting"),
+    TraceKind.TASK_RESTART: ("task", "restarts"),
     TraceKind.SCHED_REALLOC: ("server", "allocator", "streams", "boosted"),
     TraceKind.STREAM_BUFFER_FULL: ("request", "server"),
     TraceKind.STREAM_UNDERRUN: ("request", "server"),

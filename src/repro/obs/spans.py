@@ -91,13 +91,17 @@ class SpanEvent:
 class SessionSpan:
     """The recorded lifecycle of one session, keyed by arrival seq."""
 
-    __slots__ = ("key", "video", "request", "server", "events")
+    __slots__ = ("key", "video", "request", "server", "retries", "events")
 
     def __init__(self, key: int, video: Optional[int] = None) -> None:
         self.key = key
         self.video = video
         self.request: Optional[int] = None
         self.server: Optional[int] = None
+        #: Client-announced reconnect attempt (``retry`` field of the
+        #: request frame): 0 for a first try, k for the k-th re-request
+        #: after a disconnect or drop (docs/ROBUSTNESS.md, live chaos).
+        self.retries: int = 0
         self.events: List[SpanEvent] = []
 
     @property
@@ -131,6 +135,7 @@ class SessionSpan:
             "server": self.server,
             "phase": self.phase.value if self.phase else None,
             "handoffs": self.handoffs,
+            "retries": self.retries,
             "events": [e.to_dict() for e in self.events],
         }
 
@@ -176,9 +181,9 @@ class SpanLog:
     ) -> SessionSpan:
         """Append one transition to *key*'s span (created on first use).
 
-        Well-known fields (``video``, ``request``, ``server``) are also
-        promoted onto the span itself so the live view needs no event
-        scan.  Returns the span.
+        Well-known fields (``video``, ``request``, ``server``,
+        ``retry``) are also promoted onto the span itself so the live
+        view needs no event scan.  Returns the span.
         """
         span = self._active.get(key)
         if span is None:
@@ -189,6 +194,8 @@ class SpanLog:
             span.request = fields["request"]
         if "server" in fields and fields["server"] is not None:
             span.server = fields["server"]
+        if "retry" in fields and fields["retry"]:
+            span.retries = max(span.retries, int(fields["retry"]))
         span.events.append(SpanEvent(phase, wall, virtual, fields))
         self._recorded += 1
         if self.tracer is not None:

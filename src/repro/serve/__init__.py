@@ -17,20 +17,38 @@ admission, DRM migration — on wall-clock asyncio connections:
   underruns;
 * :mod:`repro.serve.ops` — the gateway's live telemetry endpoint: a
   second listener answering ``stats`` / ``health`` / ``sessions`` /
-  ``prometheus`` ops frames (docs/SERVING.md, "ops endpoint");
+  ``prometheus`` / ``chaos`` ops frames (docs/SERVING.md, "ops
+  endpoint");
+* :mod:`repro.serve.supervisor` — heartbeat + restart supervision of
+  the gateway's loops (docs/ROBUSTNESS.md, "live chaos");
+* :mod:`repro.serve.chaos` — the live fault plane: toxic transports,
+  deterministic client-side faults, engine-crash mirroring, and the
+  ``repro chaos serve`` harness;
 * :mod:`repro.serve.top` — ``repro top``, a curses-free dashboard
   over the ops endpoint or a recorded trace.
 
 CLI surface: ``repro serve --scenario FILE``, ``repro loadgen
---scenario FILE``, ``repro top`` and ``repro ops`` (registered through
-the experiment registry; see :mod:`repro.experiments.live_serve` and
+--scenario FILE``, ``repro chaos serve``, ``repro top`` and ``repro
+ops`` (registered through the experiment registry; see
+:mod:`repro.experiments.live_serve`,
+:mod:`repro.experiments.chaos_serve` and
 :mod:`repro.experiments.ops_tools`).
 """
 
 from repro.serve.bridge import Decision, ParityError, PolicyBridge
+from repro.serve.chaos import (
+    ChaosPlane,
+    ClientChaos,
+    ClientFaultPlan,
+    ToxicConfig,
+    ToxicReader,
+    ToxicWriter,
+    run_chaos_serve,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.gateway import ClusterGateway
 from repro.serve.loadgen import LoadGenerator, LoadReport, SessionOutcome
+from repro.serve.supervisor import TaskKilled, TaskSupervisor
 from repro.serve.ops import (
     OPS_VERBS,
     OpsEndpoint,
@@ -49,6 +67,9 @@ from repro.serve.protocol import (
 from repro.serve.top import render_top, run_live, run_trace, trace_samples
 
 __all__ = [
+    "ChaosPlane",
+    "ClientChaos",
+    "ClientFaultPlan",
     "ClusterGateway",
     "Decision",
     "Frame",
@@ -62,12 +83,18 @@ __all__ = [
     "PolicyBridge",
     "ServeConfig",
     "SessionOutcome",
+    "TaskKilled",
+    "TaskSupervisor",
+    "ToxicConfig",
+    "ToxicReader",
+    "ToxicWriter",
     "encode_frame",
     "format_reply",
     "ops_query",
     "ops_query_sync",
     "read_frame",
     "render_top",
+    "run_chaos_serve",
     "run_live",
     "run_trace",
     "trace_samples",

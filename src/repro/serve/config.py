@@ -60,6 +60,20 @@ class ServeConfig:
             generator replays; ``None`` uses the scenario's
             ``duration``.
         max_sessions: optional hard cap on generated sessions.
+        heartbeat_timeout: wall seconds a supervised gateway loop may
+            go without a heartbeat before the supervisor trips it
+            (postmortem + restart); 0 disables deadline monitoring.
+            Only loops that beat are monitored.
+        task_restart_limit: restarts the supervisor grants one gateway
+            task before declaring it fatally dead (the restart budget
+            of restart-with-drain; docs/ROBUSTNESS.md, live chaos).
+        task_restart_delay: wall seconds between a supervised task's
+            death and its restart.
+        retry_margin: wall seconds of virtual-time headroom a resilient
+            client adds to every re-request timestamp (converted via
+            *compression*), so the retried arrival lands ahead of the
+            policy clock's guard window and never forces a parity
+            clamp.  Must exceed ``guard + reorder_window``.
     """
 
     host: str = "127.0.0.1"
@@ -79,6 +93,10 @@ class ServeConfig:
     progress_interval: float = 2.0
     loadgen_duration: Optional[float] = None
     max_sessions: Optional[int] = None
+    heartbeat_timeout: float = 0.0
+    task_restart_limit: int = 3
+    task_restart_delay: float = 0.05
+    retry_margin: float = 1.0
 
     def __post_init__(self) -> None:
         if self.compression <= 0:
@@ -128,6 +146,28 @@ class ServeConfig:
         if self.max_sessions is not None and self.max_sessions < 1:
             raise ValueError(
                 f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+        if self.heartbeat_timeout < 0:
+            raise ValueError(
+                f"heartbeat_timeout must be >= 0 (0 disables), got "
+                f"{self.heartbeat_timeout}"
+            )
+        if self.task_restart_limit < 0:
+            raise ValueError(
+                f"task_restart_limit must be >= 0, got "
+                f"{self.task_restart_limit}"
+            )
+        if self.task_restart_delay < 0:
+            raise ValueError(
+                f"task_restart_delay must be >= 0, got "
+                f"{self.task_restart_delay}"
+            )
+        if self.retry_margin <= self.guard + self.reorder_window:
+            raise ValueError(
+                f"retry_margin ({self.retry_margin}) must exceed guard + "
+                f"reorder_window ({self.guard + self.reorder_window}): a "
+                f"re-request stamped closer than that can land behind the "
+                f"policy clock and force a parity clamp"
             )
 
     # -- virtual <-> wall conversions ----------------------------------

@@ -38,7 +38,7 @@ from __future__ import annotations
 import asyncio
 import heapq
 from datetime import datetime, timezone
-from typing import Any, Awaitable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.cluster.request import Request, RequestState
@@ -46,6 +46,7 @@ from repro.obs.spans import SpanPhase
 from repro.serve.bridge import Decision, ParityError, PolicyBridge
 from repro.serve.config import ServeConfig
 from repro.serve.ops import OpsEndpoint
+from repro.serve.supervisor import TaskSupervisor
 from repro.serve.protocol import (
     FrameError,
     MAX_PAYLOAD_BYTES,
@@ -203,11 +204,21 @@ class ClusterGateway:
         serve: Optional[ServeConfig] = None,
         tracer: Optional[obs.Tracer] = None,
         recorder: Optional[obs.FlightRecorder] = None,
+        wrap_writer: Optional[
+            Callable[[asyncio.StreamWriter], asyncio.StreamWriter]
+        ] = None,
     ) -> None:
         self.config = config
         self.serve = serve if serve is not None else ServeConfig()
         self.tracer = tracer
         self.recorder = recorder
+        #: Optional per-connection transport wrapper — the chaos plane
+        #: installs a fault-injecting (toxic) writer here so latency,
+        #: stalls and mid-frame cuts hit the real send path.
+        self.wrap_writer = wrap_writer
+        #: The live chaos plane, when one is armed (repro.serve.chaos);
+        #: the ops endpoint's ``chaos`` verb answers from it.
+        self.chaos: Optional[Any] = None
         self.bridge = PolicyBridge(config, tracer=tracer)
         self.clock = _VirtualClock(self.serve.compression)
         self.registry = self.bridge.sim.registry
@@ -217,6 +228,18 @@ class ClusterGateway:
         self.spans = obs.SpanLog(tracer=tracer)
         self.ops: Optional[OpsEndpoint] = (
             OpsEndpoint(self) if self.serve.ops_port is not None else None
+        )
+        #: Heartbeat + restart supervision of every gateway loop
+        #: (docs/ROBUSTNESS.md, "live chaos").  The recorder is read
+        #: lazily — callers may attach it after construction.
+        self.sup = TaskSupervisor(
+            should_stop=self._should_stop,
+            recorder=lambda: self.recorder,
+            tracer=tracer,
+            now_virtual=lambda: self.bridge.now,
+            heartbeat_timeout=self.serve.heartbeat_timeout,
+            restart_limit=self.serve.task_restart_limit,
+            restart_delay=self.serve.task_restart_delay,
         )
 
         self._server: Optional[asyncio.AbstractServer] = None
@@ -266,8 +289,15 @@ class ClusterGateway:
         self._c_chunks = reg.counter("serve.chunks")
         self._c_chunk_mb = reg.counter("serve.chunk_megabits")
         self._c_retries = reg.counter("serve.send_retries")
+        self._c_client_retries = reg.counter("serve.client_retries")
         self._h_buffer = reg.histogram("serve.client_buffer_mb")
         self._h_latency = reg.histogram("serve.chunk_latency_ms")
+        reg.gauge("serve.task_trips", supplier=lambda: self.sup.trips)
+        reg.gauge("serve.task_restarts", supplier=lambda: self.sup.restarts)
+
+    def _should_stop(self) -> bool:
+        """Supervisor predicate (``_stopping`` is bound after ``sup``)."""
+        return self._stopping.is_set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -285,38 +315,37 @@ class ClusterGateway:
         if self.ops is not None:
             await self.ops.start()
         self._tasks.append(
-            loop.create_task(
-                self._supervised(self._policy_loop(), "policy_loop"),
-                name="serve.policy",
+            self.sup.spawn(
+                "serve.policy", self._policy_loop, where="policy_loop"
             )
         )
         for sid in self.bridge.controller.servers:
             self._tasks.append(
-                loop.create_task(
-                    self._supervised(
-                        self._server_loop(sid), f"server_loop.{sid}"
-                    ),
-                    name=f"serve.server.{sid}",
+                self.sup.spawn(
+                    f"serve.server.{sid}",
+                    lambda s=sid: self._server_loop(s),
+                    where=f"server_loop.{sid}",
                 )
             )
         if self.tracer is not None:
             self._tasks.append(
-                loop.create_task(self._stats_loop(), name="serve.stats")
+                self.sup.spawn(
+                    "serve.stats", self._stats_loop, where="stats_loop"
+                )
             )
 
-    async def _supervised(self, coro: Awaitable[None], where: str) -> None:
-        """Run one gateway loop; dump the flight recorder on a crash.
+    def kill_server_task(self, server_id: int, reason: str = "chaos") -> bool:
+        """Crash one server task as a live fault (the chaos kill switch).
 
-        An :class:`~repro.faults.invariants.InvariantViolation` escaping
-        the policy engine — or any other unhandled exception — writes a
-        postmortem before propagating (the exception still kills the
-        task; recording is a side effect, not a handler).
+        The supervisor cancels the loop's child mid-tick — exactly as an
+        abrupt process death would look from the event loop — dumps a
+        postmortem, and restarts the loop within its budget.  Sessions
+        owned by the dead "server" keep their engine-side requests; the
+        policy core's failover decides (deterministically) which ones
+        migrate and which drop.  Returns False when the task was not
+        running (already tripped, or the id is unknown).
         """
-        if self.recorder is None:
-            await coro
-            return
-        with self.recorder.guard(where):
-            await coro
+        return self.sup.inject_crash(f"serve.server.{server_id}", reason)
 
     @property
     def port(self) -> int:
@@ -360,6 +389,7 @@ class ClusterGateway:
             await self._server.wait_closed()
         if self.ops is not None:
             await self.ops.stop()
+        await self.sup.close()
         for task in self._tasks:
             await task
         # Connection handlers park on their client's EOF; closing the
@@ -381,6 +411,8 @@ class ClusterGateway:
         if task is not None:
             self._side_tasks.add(task)
             task.add_done_callback(self._side_tasks.discard)
+        if self.wrap_writer is not None:
+            writer = self.wrap_writer(writer)
         try:
             await self._serve_connection(reader, writer)
         finally:
@@ -407,19 +439,23 @@ class ClusterGateway:
         try:
             video = int(frame.header["video"])
             time = float(frame.header["t"])
+            retry = int(frame.header.get("retry", 0))
         except (KeyError, TypeError, ValueError):
             self._handshake_errors += 1
             await self._try_send(
                 writer, {"type": "reject", "reason": "malformed request"}
             )
             return
+        if retry > 0:
+            self._c_client_retries.inc()
 
         now = loop.time()
         self.clock.anchor(time, now, self.serve.startup_slack)
         self._seq += 1
         arrival = _Arrival(time, self._seq, video, writer, now)
         self.spans.record(
-            arrival.seq, SpanPhase.ACCEPT, now, time, video=video
+            arrival.seq, SpanPhase.ACCEPT, now, time, video=video,
+            retry=retry,
         )
         heapq.heappush(self._pending, (arrival.order(), arrival))
         self._wake.set()
@@ -443,6 +479,7 @@ class ClusterGateway:
     async def _policy_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while not self._stopping.is_set():
+            self.sup.beat("serve.policy")
             timeout = self.serve.tick
             if self._pending:
                 due = (
@@ -627,8 +664,10 @@ class ClusterGateway:
         migration hands the stream to the target server's task at the
         next tick — the live analogue of the switch gap.
         """
+        name = f"serve.server.{server_id}"
         while not self._stopping.is_set():
             await asyncio.sleep(self.serve.tick)
+            self.sup.beat(name)
             if not self.clock.anchored:
                 continue
             now_vt = self.bridge.now
@@ -680,7 +719,14 @@ class ClusterGateway:
             if mb <= _EPS_MB:
                 break
             if session.bucket.tokens <= _EPS_MB:
-                session.last_stamp = now_vt
+                # Clamp to the request's (deterministic) end: the pump
+                # can run past finish/drop on the wall-lagged policy
+                # clock, and a stamp overshooting it would leak wall
+                # jitter into the client's virtual-time chaos decisions.
+                finish = request.finish_time
+                session.last_stamp = (
+                    min(now_vt, finish) if finish is not None else now_vt
+                )
             payload = b"\x00" * max(
                 1, int(mb * self.serve.bytes_per_megabit)
             )
@@ -752,16 +798,25 @@ class ClusterGateway:
             chunks=session.chunks,
         )
         if notify:
-            await self._try_send(
-                session.writer,
-                {
-                    "type": "end",
-                    "reason": reason,
-                    "request": session.decision.request,
-                    "delivered_mb": round(session.delivered_mb, 9),
-                    "chunks": session.chunks,
-                },
-            )
+            header = {
+                "type": "end",
+                "reason": reason,
+                "request": session.decision.request,
+                "delivered_mb": round(session.delivered_mb, 9),
+                "chunks": session.chunks,
+            }
+            if (
+                reason in ("dropped", "finished")
+                and session.request.finish_time is not None
+            ):
+                # The exact virtual end time (Request.mark_dropped /
+                # mark_finished).  A resilient client re-requests
+                # relative to the drop stamp, and resolves a pending
+                # chaos cut against the finish stamp — both purely in
+                # virtual time, keeping retry timelines byte-identical
+                # across same-seed runs.
+                header["t"] = round(session.request.finish_time, 9)
+            await self._try_send(session.writer, header)
         session.writer.close()
         if self.tracer is not None:
             self.tracer.emit(
@@ -907,6 +962,8 @@ class ClusterGateway:
             "rejects": int(self._c_rejects.value),
             "chunks": int(self._c_chunks.value),
             "chunk_mb": round(self._c_chunk_mb.value, 6),
+            "client_retries": int(self._c_client_retries.value),
+            "supervisor": self.sup.report(),
             "latency_ms": {
                 f"p{q:g}": v
                 for q, v in self._h_latency.percentiles(
@@ -960,9 +1017,11 @@ class ClusterGateway:
                 "chunks": int(self._c_chunks.value),
                 "chunk_megabits": round(self._c_chunk_mb.value, 6),
                 "send_retries": int(self._c_retries.value),
+                "client_retries": int(self._c_client_retries.value),
                 "parity_clamps": self._parity_clamps,
                 "handshake_errors": self._handshake_errors,
                 "open_sessions": len(self.sessions),
+                "supervisor": self.sup.report(),
                 "client_buffer_mb": self._h_buffer.snapshot(),
                 "chunk_latency_ms": self._h_latency.snapshot(),
             },

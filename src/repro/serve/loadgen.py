@@ -18,14 +18,28 @@ so far covers playback up to that chunk's virtual time (playback
 starting at the first chunk).  Under EFTF's minimum-flow guarantee the
 transmitted prefix always covers playback from admission, so a
 correctly paced gateway can never trip it.
+
+Clients are **resilient** (docs/ROBUSTNESS.md, "live chaos"): a
+transport failure or a server-crash drop never escapes a client as a
+traceback — it is recorded as a *typed* session error
+(:attr:`SessionOutcome.error_type`), and with a
+:class:`~repro.faults.retry.RetryPolicy` attached the client reconnects
+and re-requests with the same bounded-backoff semantics the simulator's
+retry queue uses.  Re-request timestamps are anchored in *virtual* time
+(the drop frame's ``t`` stamp, or the pre-drawn cut time of a chaos
+plan) plus :attr:`ServeConfig.retry_margin` plus a backoff delay drawn
+from a per-attempt named substream — so two same-seed chaos runs replay
+byte-identical retry timelines and the parity contract survives client
+failures.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.faults.retry import RetryPolicy
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import FrameError, read_frame, write_frame
 from repro.sim.rng import RandomStreams
@@ -94,6 +108,12 @@ class SessionOutcome:
     underruns: int = 0              #: staging-buffer misses (virtual)
     max_buffer_mb: float = 0.0      #: peak staging occupancy seen
     wall_seconds: float = 0.0
+    retries: int = 0                #: reconnect attempts made
+    error_type: Optional[str] = None  #: exception class of the last error
+    #: Every cluster request id this session was admitted as (one per
+    #: successful re-request) — the chaos plane reconciles failover
+    #: reports against these.
+    request_ids: List[int] = field(default_factory=list)
 
     @property
     def accepted(self) -> bool:
@@ -116,6 +136,9 @@ class SessionOutcome:
             "underruns": self.underruns,
             "max_buffer_mb": round(self.max_buffer_mb, 6),
             "wall_seconds": round(self.wall_seconds, 3),
+            "retries": self.retries,
+            "error_type": self.error_type,
+            "requests": list(self.request_ids),
         }
 
 
@@ -139,6 +162,17 @@ class LoadReport:
         return sum(1 for s in self.sessions if s.outcome == "error")
 
     @property
+    def lost(self) -> int:
+        """Sessions that were admitted but never finished (dropped or
+        disconnected with the retry budget exhausted)."""
+        return sum(1 for s in self.sessions if s.outcome == "lost")
+
+    @property
+    def retries(self) -> int:
+        """Total client reconnect attempts across the run."""
+        return sum(s.retries for s in self.sessions)
+
+    @property
     def underruns(self) -> int:
         return sum(s.underruns for s in self.sessions)
 
@@ -146,12 +180,23 @@ class LoadReport:
     def delivered_mb(self) -> float:
         return sum(s.delivered_mb for s in self.sessions)
 
+    def error_types(self) -> Dict[str, int]:
+        """Typed error histogram: exception class -> session count."""
+        counts: Dict[str, int] = {}
+        for s in self.sessions:
+            if s.error_type is not None:
+                counts[s.error_type] = counts.get(s.error_type, 0) + 1
+        return dict(sorted(counts.items()))
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "sessions": len(self.sessions),
             "accepted": self.accepted,
             "rejected": self.rejected,
             "errors": self.errors,
+            "lost": self.lost,
+            "retries": self.retries,
+            "error_types": self.error_types(),
             "underruns": self.underruns,
             "delivered_mb": round(self.delivered_mb, 6),
             "peak_concurrency": self.peak_concurrency,
@@ -159,15 +204,62 @@ class LoadReport:
         }
 
 
+#: Transport failures a resilient client absorbs as typed errors.
+_CLIENT_ERRORS = (
+    FrameError,
+    ConnectionError,          # includes ConnectionResetError
+    asyncio.IncompleteReadError,
+    EOFError,
+    OSError,
+)
+
+
 class _LiveClient:
-    """One connection: request, then buffer-and-play until ``end``."""
+    """One session: request, then buffer-and-play until ``end``.
+
+    Without a retry policy a transport failure ends the session as a
+    typed error.  With one, the client walks the bounded-backoff
+    reconnect path: each re-request carries a fresh virtual timestamp
+    (drop/cut anchor + ``retry_margin`` + a jittered backoff delay
+    drawn from the ``serve.client.<i>.retry<k>`` substream) and a
+    ``retry`` header field announcing the attempt, so the gateway's
+    spans and counters see the reconnect for what it is.
+
+    Args:
+        serve: wall-clock knobs (must match the gateway's).
+        index: the arrival's position in the trace (substream key).
+        spec: what to request and when (virtual time).
+        retry: optional bounded-backoff policy; delays are read as
+            *virtual* seconds.  ``None`` disables reconnects.
+        rng: substream factory for backoff jitter draws (required for
+            deterministic retries; ``None`` uses the midpoint draw).
+        faults: optional chaos plan for this session (duck-typed, see
+            :mod:`repro.serve.chaos`): ``cut_vt`` — pre-drawn virtual
+            stamp at which the client deterministically severs its
+            connection once; ``wrap(reader, writer)`` — client-side
+            toxic transport wrapper.
+        wall_for: maps a virtual time to the shared event-loop clock
+            (the load generator's dispatch map), so reconnect sleeps
+            land exactly where the timestamp promises.
+    """
 
     def __init__(
-        self, serve: ServeConfig, index: int, spec: RequestSpec
+        self,
+        serve: ServeConfig,
+        index: int,
+        spec: RequestSpec,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[RandomStreams] = None,
+        faults: Optional[Any] = None,
+        wall_for: Optional[Callable[[float], float]] = None,
     ) -> None:
         self.serve = serve
         self.index = index
         self.spec = spec
+        self.retry = retry
+        self.rng = rng
+        self.faults = faults
+        self.wall_for = wall_for
         self.outcome = SessionOutcome(
             index=index, time=spec.time, video=spec.video_id, outcome="error"
         )
@@ -175,77 +267,154 @@ class _LiveClient:
     async def run(self) -> SessionOutcome:
         loop = asyncio.get_running_loop()
         started = loop.time()
+        out = self.outcome
+        t_req = self.spec.time
+        attempt = 0
+        try:
+            while True:
+                verdict, anchor = await self._attempt(t_req, attempt)
+                if verdict == "done":
+                    break
+                # verdict in ("dropped", "cut", "disconnected"):
+                # retryable when a policy grants another attempt.
+                if (
+                    self.retry is None
+                    or attempt + 1 >= self.retry.max_attempts
+                ):
+                    if out.accepted or verdict == "dropped":
+                        out.outcome = "lost" if self.retry else out.outcome
+                    break
+                attempt += 1
+                out.retries = attempt
+                draw = (
+                    float(
+                        self.rng.get(
+                            f"serve.client.{self.index}.retry{attempt}"
+                        ).random()
+                    )
+                    if self.rng is not None
+                    else 0.5
+                )
+                t_req = (
+                    anchor
+                    + self.serve.to_virtual(self.serve.retry_margin)
+                    + self.retry.delay_for(attempt, draw)
+                )
+                await self._sleep_until(t_req, anchor)
+        finally:
+            out.wall_seconds = loop.time() - started
+        return out
+
+    async def _sleep_until(self, t_req: float, anchor: float) -> None:
+        """Park until the re-request's virtual timestamp is due."""
+        loop = asyncio.get_running_loop()
+        if self.wall_for is not None:
+            delay = self.wall_for(t_req) - loop.time()
+        else:  # pragma: no cover - standalone client, best effort
+            delay = self.serve.to_wall(t_req - anchor)
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    async def _attempt(self, t_req: float, attempt: int) -> Tuple[str, float]:
+        """One connect/request/stream cycle.
+
+        Returns ``(verdict, anchor)``: verdict ``"done"`` for any
+        terminal outcome, else the failure class (``"dropped"``,
+        ``"cut"``, ``"disconnected"``) with the virtual time the next
+        request should anchor its timestamp on.
+        """
+        out = self.outcome
         try:
             reader, writer = await asyncio.open_connection(
                 self.serve.host, self.serve.port
             )
         except (ConnectionError, OSError) as exc:
-            self.outcome.reason = f"connect: {exc}"
-            return self.outcome
+            out.error_type = type(exc).__name__
+            out.reason = f"connect: {exc}"
+            return "disconnected", t_req
+        wrap = getattr(self.faults, "wrap", None) if self.faults else None
+        if callable(wrap):
+            reader, writer = wrap(reader, writer)
         try:
-            await self._session(reader, writer)
-        except (FrameError, ConnectionError, OSError) as exc:
-            self.outcome.outcome = "error"
-            self.outcome.reason = f"{type(exc).__name__}: {exc}"
+            return await self._session(reader, writer, t_req, attempt)
+        except _CLIENT_ERRORS as exc:
+            out.error_type = type(exc).__name__
+            out.outcome = "error" if not out.accepted else out.outcome
+            out.reason = f"{type(exc).__name__}: {exc}"
+            return "disconnected", max(t_req, out.time)
         except asyncio.TimeoutError:
-            self.outcome.outcome = "error"
-            self.outcome.reason = "timeout waiting for gateway"
+            out.error_type = "TimeoutError"
+            out.outcome = "error" if not out.accepted else out.outcome
+            out.reason = "timeout waiting for gateway"
+            return "disconnected", t_req
         finally:
-            self.outcome.wall_seconds = loop.time() - started
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
-        return self.outcome
 
     async def _session(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        t_req: float,
+        attempt: int,
+    ) -> Tuple[str, float]:
         out = self.outcome
-        await write_frame(
-            writer,
-            {
-                "type": "request",
-                "video": self.spec.video_id,
-                "t": round(self.spec.time, 9),
-            },
-            timeout=self.serve.send_timeout,
-        )
+        header: Dict[str, Any] = {
+            "type": "request",
+            "video": self.spec.video_id,
+            "t": round(t_req, 9),
+        }
+        if attempt:
+            header["retry"] = attempt
+        await write_frame(writer, header, timeout=self.serve.send_timeout)
         # Admission may lag by startup slack + reorder window + queueing.
         frame = await read_frame(reader, timeout=self.serve.handshake_timeout)
         if frame is None:
             out.reason = "gateway closed before answering"
-            return
+            return "disconnected", t_req
         if frame.type == "reject":
             out.outcome = "rejected"
             out.reason = str(frame.header.get("reason"))
             out.request = frame.header.get("request")
-            return
+            return "done", t_req
         if frame.type != "admit":
             out.reason = f"unexpected frame {frame.type!r}"
-            return
+            return "done", t_req
 
         out.outcome = "accepted"
         out.request = frame.header.get("request")
+        if out.request is not None and out.request not in out.request_ids:
+            out.request_ids.append(out.request)
         out.server = frame.header.get("server")
         out.size_mb = float(frame.header.get("size_mb", 0.0))
         if frame.header.get("migrated"):
             out.outcome = "accepted_with_migration"
         view_mb = float(frame.header.get("view_mb_s", 0.0))
 
+        cut_vt: Optional[float] = (
+            getattr(self.faults, "cut_vt", None) if self.faults else None
+        )
         playback_t0: Optional[float] = None  # virtual playback origin
+        delivered = 0.0                      # this attempt's delivery
         last_server = out.server
+        last_t = t_req
         while True:
             frame = await read_frame(
                 reader, timeout=self.serve.handshake_timeout
             )
             if frame is None:
                 out.reason = "disconnected"
-                return
+                out.error_type = out.error_type or "ConnectionClosed"
+                return "disconnected", last_t
             if frame.type == "chunk":
                 t = float(frame.header.get("t", 0.0))
-                out.delivered_mb += float(frame.header.get("mb", 0.0))
+                last_t = max(last_t, t)
+                mb = float(frame.header.get("mb", 0.0))
+                out.delivered_mb += mb
+                delivered += mb
                 out.payload_bytes += len(frame.payload)
                 out.chunks += 1
                 server = frame.header.get("server")
@@ -256,18 +425,52 @@ class _LiveClient:
                     playback_t0 = t
                 # Staging-buffer model, virtual time: playback has
                 # consumed view_mb * (t - t0); everything delivered
-                # beyond that is buffered.
+                # beyond that (this attempt) is buffered.
                 played = min(out.size_mb, view_mb * (t - playback_t0))
-                buffered = out.delivered_mb - played
+                buffered = delivered - played
                 if buffered < -_EPS_MB:
                     out.underruns += 1
                 out.max_buffer_mb = max(out.max_buffer_mb, buffered)
+                if (
+                    cut_vt is not None
+                    and t >= cut_vt
+                    and not getattr(self.faults, "cut_done", False)
+                ):
+                    # Deterministic client-side chaos: sever the
+                    # connection at the pre-drawn virtual stamp and
+                    # re-request anchored on that same stamp.
+                    self.faults.cut_done = True
+                    out.reason = "chaos cut"
+                    out.error_type = "ChaosCut"
+                    return "cut", cut_vt
             elif frame.type == "end":
                 out.reason = str(frame.header.get("reason"))
-                return
+                end_t = frame.header.get("t")
+                if (
+                    cut_vt is not None
+                    and not getattr(self.faults, "cut_done", False)
+                    and end_t is not None
+                    and cut_vt < float(end_t)
+                ):
+                    # The pre-drawn cut lands before the stream's true
+                    # virtual end, but the chunk that would have fired
+                    # it lost a wall-clock race with the end frame.
+                    # Resolve the cut in virtual time regardless of
+                    # which frame crossed the wire first — the chaos
+                    # decision must not depend on event-loop jitter.
+                    self.faults.cut_done = True
+                    out.reason = "chaos cut"
+                    out.error_type = "ChaosCut"
+                    return "cut", cut_vt
+                if out.reason == "dropped":
+                    # The policy core dropped us (server crash).  The
+                    # frame carries the exact virtual drop time.
+                    anchor = float(end_t) if end_t is not None else last_t
+                    return "dropped", anchor
+                return "done", last_t
             else:
                 out.reason = f"unexpected frame {frame.type!r}"
-                return
+                return "done", last_t
 
 
 class LoadGenerator:
@@ -281,6 +484,16 @@ class LoadGenerator:
         progress: optional callable given one status line every
             :attr:`ServeConfig.progress_interval` wall seconds (the CLI
             prints it to stderr).  ``None`` (default) runs silently.
+        retry: optional :class:`~repro.faults.retry.RetryPolicy` making
+            every client resilient — disconnects and drops reconnect
+            with bounded virtual-time backoff instead of ending the
+            session (docs/ROBUSTNESS.md, "live chaos").
+        seed: root seed of the clients' backoff-jitter substreams;
+            use the scenario's seed so two same-seed runs replay
+            identical retry timelines.
+        faults: optional per-session chaos-plan factory (index ->
+            plan or ``None``); plans come from
+            :class:`repro.serve.chaos.ClientFaultPlan`.
     """
 
     def __init__(
@@ -288,19 +501,46 @@ class LoadGenerator:
         serve: ServeConfig,
         trace: Trace,
         progress: Optional[Callable[[str], None]] = None,
+        retry: Optional[RetryPolicy] = None,
+        seed: int = 0,
+        faults: Optional[Callable[[int], Optional[Any]]] = None,
     ) -> None:
         self.serve = serve
         self.trace = trace
         self.progress = progress
+        self.retry = retry
+        self.faults = faults
+        self._rng = RandomStreams(seed=seed)
         self._active = 0
         self._peak = 0
         self._done = 0
+        self._t0: Optional[float] = None
+        self._first_vt = trace[0].time if len(trace) else 0.0
         #: Live outcome objects (clients mutate these in place), so the
         #: reporter can aggregate mid-flight without extra bookkeeping.
         self._outcomes: List[SessionOutcome] = []
 
+    def _wall_for(self, virtual: float) -> float:
+        """The event-loop time this generator dispatches *virtual* at.
+
+        Offset by ``startup_slack`` from the gateway's own map (the
+        gateway anchors the first arrival that far in the future), so
+        frames sent on this map always land *early* relative to the
+        policy clock — reconnects can never force a parity clamp.
+        """
+        assert self._t0 is not None, "run() not started"
+        return self._t0 + self.serve.to_wall(virtual - self._first_vt)
+
     async def _client(self, index: int, spec: RequestSpec) -> SessionOutcome:
-        client = _LiveClient(self.serve, index, spec)
+        client = _LiveClient(
+            self.serve,
+            index,
+            spec,
+            retry=self.retry,
+            rng=self._rng if self.retry is not None else None,
+            faults=self.faults(index) if self.faults is not None else None,
+            wall_for=self._wall_for,
+        )
         self._outcomes.append(client.outcome)
         self._active += 1
         self._peak = max(self._peak, self._active)
@@ -347,11 +587,10 @@ class LoadGenerator:
         try:
             # Wall origin such that the first arrival fires immediately;
             # the gateway re-anchors on that first frame anyway.
-            first_vt = self.trace[0].time
-            t0 = loop.time()
+            self._t0 = loop.time()
             tasks: List[asyncio.Task] = []
             for index, spec in enumerate(self.trace):
-                due = t0 + self.serve.to_wall(spec.time - first_vt)
+                due = self._wall_for(spec.time)
                 delay = due - loop.time()
                 if delay > 0:
                     await asyncio.sleep(delay)

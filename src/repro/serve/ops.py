@@ -15,6 +15,9 @@ verb            reply
 ``health``      ``ops.reply`` — status verdict + pacing gauges
 ``sessions``    ``ops.reply`` — live session rows + recent spans
 ``prometheus``  ``ops.reply`` with the text exposition as *payload*
+``chaos``       ``ops.reply`` — live fault-plane report (failures,
+                restores, supervisor trips); ``ops.error`` when no
+                chaos plane is armed
 =============== ====================================================
 
 Unknown or malformed queries get ``{"type": "ops.error", "reason": ...}``
@@ -38,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serve.gateway import ClusterGateway
 
 #: Verbs the endpoint answers; kept in sync with docs/SERVING.md.
-OPS_VERBS = ("stats", "health", "sessions", "prometheus")
+OPS_VERBS = ("stats", "health", "sessions", "prometheus", "chaos")
 
 #: Wall-clock bound on one ops exchange (read query, write reply).
 _OPS_TIMEOUT = 5.0
@@ -134,6 +137,18 @@ class OpsEndpoint:
         if verb == "health":
             return ({"type": "ops.reply", "verb": verb,
                      "health": gw.ops_health()}, b"")
+        if verb == "chaos":
+            if gw.chaos is None:
+                self.errors += 1
+                return (
+                    {
+                        "type": "ops.error",
+                        "reason": "no chaos plane armed on this gateway",
+                    },
+                    b"",
+                )
+            return ({"type": "ops.reply", "verb": verb,
+                     "chaos": gw.chaos.report()}, b"")
         if verb == "sessions":
             recent = query.get("recent", 20)
             if not isinstance(recent, int) or recent < 0:

@@ -19,11 +19,17 @@ Message vocabulary (full field tables in docs/SERVING.md):
 ========== ============ ==========================================
 direction  type         meaning
 ========== ============ ==========================================
-C -> G     ``request``  admission request (``video``, virtual ``t``)
+C -> G     ``request``  admission request (``video``, virtual ``t``;
+                        optional ``retry`` announces the k-th
+                        reconnect attempt of a resilient client)
 G -> C     ``admit``    accepted (``server``, ``size_mb``, rates)
 G -> C     ``reject``   denied (``reason``)
 G -> C     ``chunk``    paced data (``t``, ``server``, ``mb`` +payload)
-G -> C     ``end``      session over (``reason``, ``delivered_mb``)
+G -> C     ``end``      session over (``reason``, ``delivered_mb``;
+                        ``reason="dropped"``/``"finished"`` carry
+                        ``t``, the exact virtual end time — a
+                        resilient client anchors re-requests and
+                        resolves pending chaos cuts on it)
 ========== ============ ==========================================
 
 The codec is deliberately tiny and symmetric: :func:`encode_frame` is

@@ -220,6 +220,40 @@ class TestRetryPolicy:
         with pytest.raises(ValueError):
             RetryPolicy(max_pending=0)
 
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base=st.floats(min_value=0.1, max_value=60.0),
+        cap_mult=st.floats(min_value=1.0, max_value=20.0),
+        jitter=st.floats(min_value=0.0, max_value=0.99),
+        attempt=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_delays_bounded_and_seed_deterministic(
+        self, base, cap_mult, jitter, attempt, seed
+    ):
+        """The live-chaos backoff contract (docs/ROBUSTNESS.md): every
+        delay ``delay_for`` can produce lies inside the jittered cap,
+        and a same-seed draw sequence yields byte-identical delays —
+        the resilient client's retry timeline replays exactly."""
+        from repro.sim.rng import RandomStreams
+
+        policy = RetryPolicy(
+            base_delay=base, max_delay=base * cap_mult, jitter=jitter
+        )
+        delays_a = [
+            policy.delay_for(attempt, float(draw))
+            for draw in RandomStreams(seed=seed).get("retry.jitter").random(8)
+        ]
+        delays_b = [
+            policy.delay_for(attempt, float(draw))
+            for draw in RandomStreams(seed=seed).get("retry.jitter").random(8)
+        ]
+        assert delays_a == delays_b  # bit-for-bit, not approx
+        lo = policy.base_delay * (1.0 - policy.jitter)
+        hi = policy.max_delay * (1.0 + policy.jitter)
+        for delay in delays_a:
+            assert lo - 1e-12 <= delay <= hi * (1.0 + 1e-12)
+
 
 class TestRetryQueue:
     def test_accounting_identities_under_overload(self):

@@ -154,7 +154,9 @@ class TestConcreteRegistries:
             "fig4", "fig5", "fig6", "fig7", "svbr", "partial", "het",
             "ablation", "replication", "burst", "vcr", "mix",
         }
-        assert set(CHAOS_EXPERIMENTS.names()) == {"availability", "soak"}
+        assert set(CHAOS_EXPERIMENTS.names()) == {
+            "availability", "serve", "soak",
+        }
         with pytest.raises(UnknownKeyError, match="experiment 'fig9'.*fig4"):
             EXPERIMENTS.get("fig9")
         with pytest.raises(
