@@ -442,6 +442,7 @@ def _cmd_list() -> int:
     help strings the registration sites publish — so the listing stays
     complete by construction as plugins are added.
     """
+    from repro.core.elastic import SCALE_TRIGGERS, WARMERS
     from repro.core.policies import PAPER_POLICIES
     from repro.workload.arrivals import ARRIVALS
 
@@ -453,6 +454,8 @@ def _cmd_list() -> int:
         ("arrivals", ARRIVALS),
         ("systems", SYSTEMS),
         ("paper policies", PAPER_POLICIES),
+        ("scale triggers", SCALE_TRIGGERS),
+        ("replica warmers", WARMERS),
     )
     for index, (title, registry) in enumerate(sections):
         if index:
@@ -462,6 +465,11 @@ def _cmd_list() -> int:
         width = max((len(name) for name in described), default=0)
         for name, help_text in described.items():
             line = " ".join(str(help_text).split())  # one line, always
+            if registry is PLACEMENTS:
+                # Every placement is membership-capable; show which
+                # elastic lifecycle hooks each class provides.
+                hooks = ", ".join(registry.get(name).lifecycle_hooks())
+                line = f"{line} [lifecycle: {hooks}]"
             print(f"  {name:<{width}}  {line}".rstrip())
     return 0
 

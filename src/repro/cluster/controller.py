@@ -82,6 +82,9 @@ class DistributionController:
             )
             for s in servers
         }
+        #: The shared allocator instance — kept so elastic scale-out can
+        #: wire a mid-run joiner's TransmissionManager identically.
+        self._allocator = allocator
         self._allocator_name = allocator.name
         if tracer is not None:
             allocator.obs_hook = self._on_allocate
@@ -108,6 +111,24 @@ class DistributionController:
         self.decision_hooks: List[
             Callable[[AdmissionOutcome, Request], None]
         ] = []
+
+    def add_server(self, server: DataServer) -> None:
+        """Wire a mid-run joiner into the cluster (elastic scale-out).
+
+        The controller's ``servers``/``managers`` dicts are shared *by
+        reference* with the admission controller and any failover
+        manager, so registering here makes the joiner visible to every
+        layer at once.  The caller (the elastic scaler) is responsible
+        for lifecycle gating via ``server.accepting``.
+        """
+        sid = server.server_id
+        if sid in self.servers:
+            raise ValueError(f"server {sid} already in the cluster")
+        self.servers[sid] = server
+        self.managers[sid] = TransmissionManager(
+            self.engine, server, self._allocator, self.metrics,
+            on_finish=self._on_finish, tracer=self.tracer,
+        )
 
     @property
     def on_decision(self):

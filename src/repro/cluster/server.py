@@ -11,10 +11,14 @@ only if …").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Set
 
+from repro.cluster.profile import DEFAULT_DISK_THROUGHPUT
 from repro.cluster.request import EPS_MB, Request
 from repro.workload.catalog import Video
+
+if TYPE_CHECKING:  # pragma: no cover - hint only
+    from repro.cluster.profile import ServerProfile
 
 
 class StorageError(RuntimeError):
@@ -26,12 +30,18 @@ class DataServer:
 
     Attributes:
         server_id: index within the cluster.
-        bandwidth: outbound link capacity, Mb/s.
+        nominal_bandwidth: datasheet outbound link capacity, Mb/s.
         disk_capacity: private storage, Mb.
+        disk_throughput: replica copy-in rate, Mb/s (bounds warming).
         holdings: set of video ids with a local replica.
         active: unfinished requests currently assigned here, keyed by
             request id (insertion-ordered for determinism).
         up: False while the server has failed.
+        accepting: False while membership keeps the server out of
+            admission (joining/warming/draining); streams already here
+            keep playing, but no new stream may land — the flag gates
+            :meth:`has_slot_for`, so least-loaded picks, DRM chains and
+            failover relocation all respect it.
     """
 
     def __init__(
@@ -44,19 +54,53 @@ class DataServer:
                 f"disk capacity must be >= 0, got {disk_capacity}"
             )
         self.server_id = int(server_id)
-        self.bandwidth = float(bandwidth)
-        #: Healthy-link capacity; ``bandwidth`` drops below this while a
-        #: partial link degradation fault is active.
+        #: Healthy-link datasheet capacity; the effective link composes
+        #: this with the calibration weight and any link-fault scale.
         self.nominal_bandwidth = float(bandwidth)
+        # The two multiplicative capacity seams.  Calibration (measured
+        # vs. datasheet speed) and link degradation (a fault) compose
+        # instead of overwriting each other: effective = nominal ×
+        # calibration × link.
+        self._calibration_scale = 1.0
+        self._link_scale = 1.0
+        self._effective = self.nominal_bandwidth
         self.disk_capacity = float(disk_capacity)
+        self.disk_throughput = DEFAULT_DISK_THROUGHPUT
         self.holdings: Set[int] = set()
         self.storage_used = 0.0
         self.active: Dict[int, Request] = {}
         self.up = True
+        self.accepting = True
         # Incrementally maintained sum of active view bandwidths; the
         # admission test runs per arrival per candidate server, so the
         # O(n) recomputation was a measured hot spot.
         self._reserved = 0.0
+
+    # ------------------------------------------------------------------
+    # Capacity seams (calibration × link faults)
+    # ------------------------------------------------------------------
+    def effective_bandwidth(self) -> float:
+        """The outbound capacity every policy reads, Mb/s:
+        ``nominal × calibration × link-fault scale``."""
+        return self._effective
+
+    @property
+    def bandwidth(self) -> float:
+        """Alias of :meth:`effective_bandwidth` (read-only; mutate via
+        :meth:`apply_profile` / :meth:`set_link_scale`)."""
+        return self._effective
+
+    def apply_profile(self, profile: "ServerProfile") -> None:
+        """Adopt a calibration measurement: the measured bandwidth sets
+        the calibration weight, the measured storage and disk throughput
+        replace the presets.  Composes with any active link fault."""
+        self._calibration_scale = profile.bandwidth / self.nominal_bandwidth
+        self._effective = (
+            self.nominal_bandwidth * self._calibration_scale * self._link_scale
+        )
+        self.disk_throughput = float(profile.disk_throughput)
+        if profile.storage > 0:
+            self.disk_capacity = float(profile.storage)
 
     # ------------------------------------------------------------------
     # Storage
@@ -70,10 +114,11 @@ class DataServer:
         if video.video_id in self.holdings:
             return  # idempotent: at most one replica per server
         if self.storage_used + video.size > self.disk_capacity + EPS_MB:
+            free = self.disk_capacity - self.storage_used
             raise StorageError(
                 f"server {self.server_id}: replica of video "
                 f"{video.video_id} ({video.size:.0f} Mb) exceeds free space "
-                f"({self.disk_capacity - self.storage_used:.0f} Mb)"
+                f"({free:.0f} Mb free, short by {video.size - free:.0f} Mb)"
             )
         self.holdings.add(video.video_id)
         self.storage_used += video.size
@@ -125,7 +170,7 @@ class DataServer:
 
     def has_slot_for(self, request: Request) -> bool:
         """Minimum-flow admission test for *request* on this server."""
-        if not self.up:
+        if not self.up or not self.accepting:
             return False
         return (
             self.reserved_bandwidth + request.view_bandwidth
@@ -173,12 +218,16 @@ class DataServer:
     # ------------------------------------------------------------------
     @property
     def degraded(self) -> bool:
-        """True while the outbound link runs below nominal capacity."""
-        return self.bandwidth < self.nominal_bandwidth
+        """True while a link-degradation fault is active (independent of
+        the calibration weight, which is not a fault)."""
+        return self._link_scale < 1.0
 
     def set_link_scale(self, factor: float) -> None:
-        """Scale the outbound link to ``factor * nominal`` (partial link
-        degradation fault).  ``factor=1`` restores the healthy link.
+        """Scale the outbound link to ``factor`` of its calibrated
+        capacity (partial link degradation fault).  ``factor=1``
+        restores the healthy link.  The fault composes with the
+        calibration weight instead of overwriting it — restoring the
+        link lands back on the *calibrated* capacity, not the preset.
 
         The caller (:class:`repro.core.failover.FailoverManager`) is
         responsible for shedding streams whose minimum-flow floor no
@@ -188,7 +237,10 @@ class DataServer:
             raise ValueError(
                 f"link scale factor must be in (0, 1], got {factor}"
             )
-        self.bandwidth = self.nominal_bandwidth * factor
+        self._link_scale = float(factor)
+        self._effective = (
+            self.nominal_bandwidth * self._calibration_scale * self._link_scale
+        )
 
     def fail(self) -> List[Request]:
         """Take the server down; returns (and detaches) its streams."""

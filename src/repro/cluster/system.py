@@ -25,10 +25,11 @@ capacity-matched.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.profile import ClusterProfile
 from repro.cluster.server import DataServer
 from repro.registry import Registry
 from repro.units import (
@@ -102,14 +103,30 @@ class SystemConfig:
         """Mean server-to-view bandwidth ratio (streams per server)."""
         return self.total_bandwidth / (self.n_servers * self.view_bandwidth)
 
-    def build_servers(self) -> List[DataServer]:
-        """Instantiate fresh :class:`DataServer` objects for a run."""
-        return [
+    def build_servers(
+        self, profile: Optional[ClusterProfile] = None
+    ) -> List[DataServer]:
+        """Instantiate fresh :class:`DataServer` objects for a run.
+
+        With a *profile* (a calibration pass's output, see
+        :mod:`repro.cluster.profile`) each server adopts its measured
+        capacities; without one the presets stand unmodified.
+        """
+        servers = [
             DataServer(i, bw, disk)
             for i, (bw, disk) in enumerate(
                 zip(self.server_bandwidths, self.disk_capacities)
             )
         ]
+        if profile is not None:
+            if len(profile.profiles) != len(servers):
+                raise ValueError(
+                    f"profile covers {len(profile.profiles)} servers, "
+                    f"system has {len(servers)}"
+                )
+            for server, server_profile in zip(servers, profile.profiles):
+                server.apply_profile(server_profile)
+        return servers
 
     def scaled(self, n_videos: int = 0, name: str = "") -> "SystemConfig":
         """Copy with an overridden catalog size (for quick experiments)."""

@@ -98,7 +98,7 @@ class AdmissionController:
         """The admission test, by mode."""
         if self.mode == "minflow":
             return server.has_slot_for(request)
-        if not server.up:
+        if not server.up or not server.accepting:
             return False
         # Hard population cap: even parked viewers cost scheduler work
         # and will eventually need the link back.

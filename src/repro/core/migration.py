@@ -162,10 +162,13 @@ def find_migration_chain(
     """
     if not policy.enabled:
         return None
+    # Non-accepting holders (joining/draining members) are skipped:
+    # freeing a slot there would not help the newcomer, which the
+    # membership gate refuses regardless.
     entry_holders = [
         servers[sid]
         for sid in placement.holders(video_id)
-        if sid in servers and servers[sid].up
+        if sid in servers and servers[sid].up and servers[sid].accepting
     ]
     # Deterministic preference: fewest active streams first (they are
     # typically all full here, so this mostly falls back to id order).
@@ -214,6 +217,7 @@ def _free_slot(
                     or tid in visited
                     or tid not in servers
                     or not servers[tid].up
+                    or not servers[tid].accepting
                 ):
                     continue
                 sub = _free_slot(

@@ -174,10 +174,12 @@ class DynamicReplicator:
         """Least-loaded live non-holder, preferring servers with space."""
         holders = set(self.placement.holders(video_id))
         video = self.catalog[video_id]
+        # `accepting` keeps draining/warming members out: a server on
+        # its way off the cluster must not gain fresh replicas.
         candidates = [
             s
             for s in self.servers.values()
-            if s.up and s.server_id not in holders
+            if s.up and s.accepting and s.server_id not in holders
         ]
         if not candidates:
             return None

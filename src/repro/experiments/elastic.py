@@ -1,0 +1,282 @@
+"""EXT-ELASTIC: the elastic membership gate — ``repro elastic``.
+
+Drives a committed scenario's ``elastic`` block (scale-out / scale-in
+events, optionally a load trigger) through both incarnations of the
+policy core and audits the outcome (docs/SERVING.md, "elastic
+membership"):
+
+* a **virtual-time reference run** — :class:`PolicyBridge.replay` over
+  the scenario's calibrated arrival trace, with every membership
+  transition (join, warm, activate, drain, depart) driven by engine
+  events;
+* a **live gateway run** — the same trace replayed by
+  :class:`LoadGenerator` clients against a running
+  :class:`ClusterGateway`, whose task set follows the membership epoch
+  (joiners get ``serve.server.{sid}`` tasks mid-run, departed servers'
+  tasks retire);
+* the **audit** — the two decision digests must be byte-identical,
+  both runs must finish with zero underruns and zero drops, the
+  membership epoch must have advanced identically, every server must
+  end ``active`` or ``departed``, and the live runtime must leak no
+  asyncio tasks and clamp no arrivals.
+
+Any audit failure exits 1; this is the CI elastic-smoke job's gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.request import reset_request_ids
+from repro.experiments.registry import ExperimentSpec, register
+from repro.scenario import load_scenario
+from repro.serve.bridge import PolicyBridge
+from repro.serve.config import ServeConfig
+from repro.serve.gateway import ClusterGateway
+from repro.serve.loadgen import LoadGenerator, arrival_trace
+
+#: Default committed scenario (see scenarios/elastic_flash_crowd.json).
+DEFAULT_SCENARIO = "scenarios/elastic_flash_crowd.json"
+
+
+def run_virtual(config, max_sessions: Optional[int] = None) -> Dict[str, Any]:
+    """The reference side: replay the trace in a tight loop.
+
+    Returns a JSON-ready report with the policy summary, the final
+    membership ledger and the scaler's counters.
+    """
+    reset_request_ids()
+    trace = arrival_trace(config, max_sessions=max_sessions)
+    bridge = PolicyBridge(config)
+    bridge.replay(trace)
+    policy = bridge.finalize(config.duration)
+    scaler = bridge.sim.elastic_scaler
+    membership = bridge.controller.membership
+    return {
+        "policy": policy,
+        "digest": policy["decisions_sha"],
+        "membership": membership.to_dict(),
+        "scaler": {
+            "scale_outs": scaler.scale_outs if scaler else 0,
+            "scale_ins": scaler.scale_ins if scaler else 0,
+            "streams_drained": scaler.streams_drained if scaler else 0,
+        },
+    }
+
+
+async def run_live(
+    config,
+    serve: ServeConfig,
+    max_sessions: Optional[int] = None,
+    progress=None,
+) -> Dict[str, Any]:
+    """The live side: gateway + loadgen over loopback TCP."""
+    reset_request_ids()
+    gateway = ClusterGateway(config, serve)
+    await gateway.start()
+    live = dataclasses.replace(serve, port=gateway.port)
+    trace = arrival_trace(config, max_sessions=max_sessions)
+    generator = LoadGenerator(live, trace, progress=progress)
+    try:
+        load = await generator.run()
+    finally:
+        # Every scheduled scale event must have fired before the
+        # report is cut, however far the wall-paced advance lagged.
+        gateway.bridge.advance(config.duration)
+        await asyncio.sleep(0)
+        summary = await gateway.stop()
+    current = asyncio.current_task()
+    leaked = sorted(
+        task.get_name()
+        for task in asyncio.all_tasks()
+        if task is not current and not task.done()
+    )
+    return {
+        "policy": summary["policy"],
+        "digest": summary["policy"]["decisions_sha"],
+        "membership": summary["serve"]["membership"],
+        "supervisor": summary["serve"]["supervisor"],
+        "parity_clamps": summary["serve"]["parity_clamps"],
+        "leaked_tasks": leaked,
+        "load": {
+            "sessions": len(load.sessions),
+            "accepted": load.accepted,
+            "rejected": load.rejected,
+            "errors": load.errors,
+            "lost": load.lost,
+            "underruns": load.underruns,
+        },
+    }
+
+
+def audit(virtual: Dict[str, Any], live: Dict[str, Any]) -> List[str]:
+    """The gate: every way an elastic run can fail, as messages."""
+    problems: List[str] = []
+    if virtual["digest"] != live["digest"]:
+        problems.append(
+            f"decision digests diverged: virtual {virtual['digest'][:12]} "
+            f"!= live {live['digest'][:12]}"
+        )
+    for side, report in (("virtual", virtual), ("live", live)):
+        if report["policy"]["underruns"]:
+            problems.append(
+                f"{side}: {report['policy']['underruns']} underrun(s) — "
+                f"a drain or warm starved a stream"
+            )
+        membership = report["membership"] or {}
+        if not membership.get("epoch"):
+            problems.append(
+                f"{side}: membership epoch never advanced — no scale "
+                f"event fired (check the scenario's elastic block)"
+            )
+        stuck = {
+            sid: state
+            for sid, state in (membership.get("servers") or {}).items()
+            if state not in ("active", "departed")
+        }
+        if stuck:
+            problems.append(
+                f"{side}: servers stuck mid-lifecycle at the horizon: "
+                f"{stuck}"
+            )
+    if virtual["membership"] != live["membership"]:
+        problems.append(
+            "membership ledgers diverged between virtual and live runs: "
+            f"{virtual['membership']} != {live['membership']}"
+        )
+    if not virtual["scaler"]["scale_outs"]:
+        problems.append("virtual: no scale-out executed")
+    if not virtual["scaler"]["scale_ins"]:
+        problems.append("virtual: no scale-in executed")
+    if live["parity_clamps"]:
+        problems.append(
+            f"live: {live['parity_clamps']} parity clamp(s): an arrival "
+            f"landed behind the policy clock"
+        )
+    if live["leaked_tasks"]:
+        problems.append(
+            f"live: leaked asyncio tasks after stop(): "
+            f"{live['leaked_tasks']}"
+        )
+    if live["load"]["underruns"]:
+        problems.append(
+            f"live: {live['load']['underruns']} client-side underrun(s)"
+        )
+    if live["load"]["errors"] or live["load"]["lost"]:
+        problems.append(
+            f"live: {live['load']['errors']} errored + "
+            f"{live['load']['lost']} lost session(s)"
+        )
+    # The gateway must have supervised a task for every server that was
+    # ever a member — including mid-run joiners.
+    supervised = {
+        name.rsplit(".", 1)[-1]
+        for name in live["supervisor"].get("tasks", {})
+        if name.startswith("serve.server.")
+    }
+    members = set((live["membership"] or {}).get("servers") or {})
+    missing = sorted(members - supervised)
+    if missing:
+        problems.append(
+            f"live: no serve.server task was ever spawned for "
+            f"member(s) {missing}"
+        )
+    return problems
+
+
+def run_elastic_cli(args, progress) -> int:
+    """Virtual replay + live serve of one elastic scenario; audit both."""
+    scenario = load_scenario(args.scenario)
+    config = scenario.config
+    if config.elastic is None:
+        print(
+            f"repro elastic: scenario {scenario.name!r} has no elastic "
+            f"block",
+            file=sys.stderr,
+        )
+        return 2
+    serve = ServeConfig(
+        port=0,
+        compression=args.compression,
+        # Same clamp headroom as the chaos gate: a loaded CI box must
+        # not push an arrival behind the policy clock.
+        guard=0.5,
+        startup_slack=1.0,
+    )
+    virtual = run_virtual(config, max_sessions=args.max_sessions)
+    progress(
+        f"elastic virtual: digest {virtual['digest'][:12]}, epoch "
+        f"{virtual['membership']['epoch']}, "
+        f"out={virtual['scaler']['scale_outs']} "
+        f"in={virtual['scaler']['scale_ins']} "
+        f"drained={virtual['scaler']['streams_drained']}"
+    )
+    live = asyncio.run(
+        run_live(
+            config, serve, max_sessions=args.max_sessions,
+            progress=progress,
+        )
+    )
+    progress(
+        f"elastic live: digest {live['digest'][:12]}, epoch "
+        f"{(live['membership'] or {}).get('epoch')}, "
+        f"{live['load']['sessions']} sessions "
+        f"({live['load']['accepted']} accepted)"
+    )
+    failures = audit(virtual, live)
+    report = {
+        "scenario": scenario.name,
+        "digests": [virtual["digest"], live["digest"]],
+        "deterministic": virtual["digest"] == live["digest"],
+        "failures": failures,
+        "virtual": virtual,
+        "live": live,
+    }
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered + "\n")
+    for failure in failures:
+        print(f"ELASTIC FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+def _cli_arguments(parser) -> None:
+    parser.add_argument(
+        "scenario", nargs="?", default=DEFAULT_SCENARIO,
+        help=f"scenario JSON with an elastic block "
+             f"(default {DEFAULT_SCENARIO})",
+    )
+    parser.add_argument(
+        "--compression", type=float, default=40.0,
+        help="virtual seconds per wall second for the live run",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="cap on generated sessions (both runs)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON report to PATH (the CI artifact)",
+    )
+
+
+register(ExperimentSpec(
+    name="elastic",
+    help="elastic membership gate: replay a scenario's scale events in "
+         "virtual time and against a live gateway; the decision digests "
+         "must agree, drains must finish with zero underruns, and every "
+         "member must end active or departed (exit 1 on any failure)",
+    run_cli=run_elastic_cli,
+    add_arguments=_cli_arguments,
+    bare=True,
+    order=96,
+))

@@ -51,6 +51,13 @@ class TraceKind(str, enum.Enum):
     SERVER_LINK_RESTORE = "server.link_restore"
     SERVER_REPLICA_LOSS = "server.replica_loss"
 
+    # -- elastic membership lifecycle (repro.core.elastic) -----------
+    SERVER_JOIN = "server.join"
+    SERVER_WARM = "server.warm"
+    SERVER_ACTIVATE = "server.activate"
+    SERVER_DRAIN = "server.drain"
+    SERVER_DEPART = "server.depart"
+
     # -- online invariant checking -----------------------------------
     INVARIANT_VIOLATION = "invariant.violation"
 
@@ -96,6 +103,11 @@ KIND_FIELDS: Dict[TraceKind, tuple] = {
     TraceKind.SERVER_DEGRADE: ("server", "factor", "shed"),
     TraceKind.SERVER_LINK_RESTORE: ("server",),
     TraceKind.SERVER_REPLICA_LOSS: ("server", "video", "orphans"),
+    TraceKind.SERVER_JOIN: ("server", "bandwidth", "disk", "epoch"),
+    TraceKind.SERVER_WARM: ("server", "video", "seconds"),
+    TraceKind.SERVER_ACTIVATE: ("server", "replicas", "epoch"),
+    TraceKind.SERVER_DRAIN: ("server", "active", "epoch"),
+    TraceKind.SERVER_DEPART: ("server", "moved", "epoch"),
     TraceKind.INVARIANT_VIOLATION: ("invariant", "subject", "detail"),
     TraceKind.SESSION_OPEN: ("request", "video", "server", "peer"),
     TraceKind.SESSION_CLOSE: ("request", "reason", "delivered_mb",

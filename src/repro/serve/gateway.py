@@ -19,7 +19,11 @@ controller*.  One asyncio process runs:
   token bucket, then drains the bucket as ``chunk`` frames whose payload
   carries ``bytes_per_megabit`` real bytes per scheduled megabit.  The
   schedule — not the network — is the shaper, so client staging buffers
-  behave exactly as in the simulator;
+  behave exactly as in the simulator.  Under elastic membership
+  (:mod:`repro.core.elastic`) the task set follows the policy core's
+  :class:`~repro.cluster.membership.ClusterMembership`: each epoch bump
+  spawns tasks for joiners and departed servers' tasks retire once
+  their last session has been handed off;
 * a **drain** path — on SIGTERM (wired by ``repro serve``) or
   :meth:`ClusterGateway.stop`, new arrivals are rejected with reason
   ``"draining"``, in-flight sessions run to completion (bounded by
@@ -41,6 +45,7 @@ from datetime import datetime, timezone
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro import obs
+from repro.cluster.membership import ClusterMembership, ServerLifecycle
 from repro.cluster.request import Request, RequestState
 from repro.obs.spans import SpanPhase
 from repro.serve.bridge import Decision, ParityError, PolicyBridge
@@ -271,19 +276,13 @@ class ClusterGateway:
         )
         reg.gauge("serve.vt_lag_s", supplier=self.vt_lag)
         reg.gauge("serve.guard_occupancy", supplier=self.guard_occupancy)
+        #: Server ids whose ``serve.server.{sid}`` task + gauges exist.
+        #: Seed members are instrumented here; elastic joiners are added
+        #: by :meth:`_reconcile_membership` at their membership epoch.
+        self._instrumented_servers: Set[int] = set()
+        self._membership_epoch = 0
         for sid in self.bridge.controller.servers:
-            reg.gauge(
-                f"serve.server.{sid}.sessions",
-                supplier=lambda s=sid: self._server_row(s)["sessions"],
-            )
-            reg.gauge(
-                f"serve.server.{sid}.scheduled_mb_s",
-                supplier=lambda s=sid: self._server_row(s)["scheduled_mb_s"],
-            )
-            reg.gauge(
-                f"serve.server.{sid}.bucket_mb",
-                supplier=lambda s=sid: self._server_row(s)["bucket_mb"],
-            )
+            self._register_server_gauges(sid)
         self._c_admits = reg.counter("serve.admits")
         self._c_rejects = reg.counter("serve.rejects")
         self._c_chunks = reg.counter("serve.chunks")
@@ -298,6 +297,30 @@ class ClusterGateway:
     def _should_stop(self) -> bool:
         """Supervisor predicate (``_stopping`` is bound after ``sup``)."""
         return self._stopping.is_set()
+
+    def _membership(self) -> Optional[ClusterMembership]:
+        """The policy core's membership ledger (None on old configs)."""
+        return getattr(self.bridge.controller, "membership", None)
+
+    def _register_server_gauges(self, sid: int) -> None:
+        """Register the per-server load gauges for *sid* (idempotent
+        via :attr:`_instrumented_servers`)."""
+        if sid in self._instrumented_servers:
+            return
+        self._instrumented_servers.add(sid)
+        reg = self.registry
+        reg.gauge(
+            f"serve.server.{sid}.sessions",
+            supplier=lambda s=sid: self._server_row(s)["sessions"],
+        )
+        reg.gauge(
+            f"serve.server.{sid}.scheduled_mb_s",
+            supplier=lambda s=sid: self._server_row(s)["scheduled_mb_s"],
+        )
+        reg.gauge(
+            f"serve.server.{sid}.bucket_mb",
+            supplier=lambda s=sid: self._server_row(s)["bucket_mb"],
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -320,13 +343,10 @@ class ClusterGateway:
             )
         )
         for sid in self.bridge.controller.servers:
-            self._tasks.append(
-                self.sup.spawn(
-                    f"serve.server.{sid}",
-                    lambda s=sid: self._server_loop(s),
-                    where=f"server_loop.{sid}",
-                )
-            )
+            self._spawn_server_task(sid)
+        membership = self._membership()
+        if membership is not None:
+            self._membership_epoch = membership.epoch
         if self.tracer is not None:
             self._tasks.append(
                 self.sup.spawn(
@@ -512,6 +532,7 @@ class ClusterGateway:
                 if self._pending:
                     safe_vt = min(safe_vt, self._pending[0][1].time)
                 self.bridge.advance(safe_vt)
+                self._reconcile_membership()
 
     def _process_arrival(self, arrival: _Arrival) -> None:
         wall = self._loop.time() if self._loop is not None else 0.0
@@ -575,6 +596,7 @@ class ClusterGateway:
             arrival.seq, SpanPhase.ADMIT, wall, decision.time,
             request=decision.request, server=decision.server,
             migrated=decision.migrations > 0,
+            epoch=self._membership_epoch,
         )
         if self.tracer is not None:
             peer = arrival.writer.get_extra_info("peername")
@@ -657,19 +679,62 @@ class ClusterGateway:
     # ------------------------------------------------------------------
     # Server tasks (data plane)
     # ------------------------------------------------------------------
+    def _spawn_server_task(self, sid: int) -> None:
+        """Spawn (and instrument) the pacing task for server *sid*."""
+        self._register_server_gauges(sid)
+        self._tasks.append(
+            self.sup.spawn(
+                f"serve.server.{sid}",
+                lambda s=sid: self._server_loop(s),
+                where=f"server_loop.{sid}",
+            )
+        )
+
+    def _reconcile_membership(self) -> None:
+        """Align the task set with the policy core's membership epoch.
+
+        Called from the policy loop right after every ``bridge.advance``
+        — the only place cluster state moves — so a ``scale_out`` event
+        fired during the advance has its ``serve.server.{sid}`` task
+        (and gauges) before the next pacing tick.  Departed servers are
+        not reaped here; their loops retire themselves (see
+        :meth:`_server_loop`).
+        """
+        membership = self._membership()
+        if membership is None or membership.epoch == self._membership_epoch:
+            return
+        self._membership_epoch = membership.epoch
+        for sid in self.bridge.controller.servers:
+            if sid in self._instrumented_servers:
+                continue
+            if membership.state(sid) is ServerLifecycle.DEPARTED:
+                continue
+            self._spawn_server_task(sid)
+
     async def _server_loop(self, server_id: int) -> None:
         """Pace every session currently hosted by *server_id*.
 
         Sessions follow their request's ``server_id``, so a DRM
         migration hands the stream to the target server's task at the
-        next tick — the live analogue of the switch gap.
+        next tick — the live analogue of the switch gap.  When elastic
+        scale-in departs the server, the loop returns cleanly once its
+        last session has been handed off (a clean factory return ends
+        supervision without a restart).
         """
         name = f"serve.server.{server_id}"
+        membership = self._membership()
         while not self._stopping.is_set():
             await asyncio.sleep(self.serve.tick)
             self.sup.beat(name)
             if not self.clock.anchored:
                 continue
+            if (
+                membership is not None
+                and server_id in membership.states
+                and membership.state(server_id) is ServerLifecycle.DEPARTED
+                and self._server_row(server_id)["sessions"] == 0
+            ):
+                return
             now_vt = self.bridge.now
             for key, session in list(self.sessions.items()):
                 request = session.request
@@ -881,11 +946,17 @@ class ClusterGateway:
             "bucket_mb": round(bucket_mb, 6),
         }
 
-    def _server_rows(self) -> Dict[str, Dict[str, float]]:
-        return {
-            str(sid): self._server_row(sid)
-            for sid in self.bridge.controller.servers
-        }
+    def _server_rows(self) -> Dict[str, Dict[str, Any]]:
+        """Per-server load rows, annotated with the membership lifecycle
+        state when the policy core tracks one."""
+        membership = self._membership()
+        rows: Dict[str, Dict[str, Any]] = {}
+        for sid in self.bridge.controller.servers:
+            row: Dict[str, Any] = dict(self._server_row(sid))
+            if membership is not None and sid in membership.states:
+                row["state"] = membership.state(sid).value
+            rows[str(sid)] = row
+        return rows
 
     async def _stats_loop(self) -> None:
         """Sample gateway state into ``serve.stats`` trace records.
@@ -918,6 +989,7 @@ class ClusterGateway:
             latency_ms={
                 "p50": pct[50.0], "p95": pct[95.0], "p99": pct[99.0]
             },
+            membership_epoch=self._membership_epoch,
             servers=self._server_rows(),
         )
 
@@ -970,6 +1042,11 @@ class ClusterGateway:
                     (50.0, 95.0, 99.0)
                 ).items()
             },
+            "membership": (
+                self._membership().to_dict()
+                if self._membership() is not None
+                else None
+            ),
             "servers": self._server_rows(),
         }
 
@@ -1021,6 +1098,11 @@ class ClusterGateway:
                 "parity_clamps": self._parity_clamps,
                 "handshake_errors": self._handshake_errors,
                 "open_sessions": len(self.sessions),
+                "membership": (
+                    self._membership().to_dict()
+                    if self._membership() is not None
+                    else None
+                ),
                 "supervisor": self.sup.report(),
                 "client_buffer_mb": self._h_buffer.snapshot(),
                 "chunk_latency_ms": self._h_latency.snapshot(),

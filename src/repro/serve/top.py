@@ -165,19 +165,36 @@ def render_top(
         f"p99 {_fmt(latency.get('p99'), ' ms')}"
     )
 
+    # Elastic membership: health samples carry the full ledger, trace
+    # samples just the epoch (+ per-row lifecycle states below).
+    membership = sample.get("membership") or {}
+    epoch = sample.get("membership_epoch", membership.get("epoch"))
+    if epoch is not None:
+        counts = membership.get("counts") or {}
+        summary = "  ".join(
+            f"{state} {n}" for state, n in sorted(counts.items()) if n
+        )
+        lines.append(
+            f"cluster   epoch {int(epoch):>4}"
+            + (f"   {summary}" if summary else "")
+        )
+
     servers = sample.get("servers") or {}
     if servers:
         lines.append("-" * _WIDTH)
         lines.append(
             f"{'server':>8}  {'sessions':>8}  {'sched Mb/s':>10}  "
-            f"{'bucket Mb':>10}"
+            f"{'bucket Mb':>10}  {'state':>9}"
         )
+        states = membership.get("servers") or {}
         for sid in sorted(servers, key=lambda s: int(s)):
             row = servers[sid]
+            state = row.get("state", states.get(str(sid), ""))
             lines.append(
                 f"{sid:>8}  {int(row.get('sessions', 0)):>8}  "
                 f"{float(row.get('scheduled_mb_s', 0.0)):>10.2f}  "
-                f"{float(row.get('bucket_mb', 0.0)):>10.3f}"
+                f"{float(row.get('bucket_mb', 0.0)):>10.3f}  "
+                f"{state:>9}"
             )
     return "\n".join(lines)
 

@@ -34,8 +34,16 @@ from repro import obs
 from repro.analysis.metrics import SimulationMetrics
 from repro.cluster.client import ClientProfile, staging_capacity
 from repro.cluster.controller import DistributionController
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.profile import (
+    CalibrationConfig,
+    ClusterProfile,
+    calibrate,
+    identity_profile,
+)
 from repro.cluster.request import reset_request_ids
 from repro.cluster.system import SYSTEMS, SystemConfig
+from repro.core.elastic import ElasticPolicy, ElasticScaler
 from repro.core.migration import MigrationPolicy
 from repro.core.failover import FailoverManager
 from repro.core.replication import DynamicReplicator, ReplicationPolicy
@@ -106,6 +114,13 @@ class SimulationConfig:
             constructor, as a tuple of ``(name, value)`` pairs (a tuple
             so the config stays hashable; scenario files write a JSON
             object).  E.g. ``(("burst_multiplier", 4.0),)``.
+        calibration: run the deterministic calibration micro-benchmark
+            (:mod:`repro.cluster.profile`) so every policy reads
+            *measured* per-server capacities; ``None`` (default) uses
+            the identity profile (measured == preset).
+        elastic: elastic membership schedule/trigger
+            (:class:`repro.core.elastic.ElasticPolicy`); ``None``
+            (default) freezes membership, as in the paper.
     """
 
     system: SystemConfig
@@ -129,6 +144,8 @@ class SimulationConfig:
     invariants: bool = False
     arrivals: str = "poisson"
     arrival_params: Tuple[Tuple[str, float], ...] = ()
+    calibration: Optional[CalibrationConfig] = None
+    elastic: Optional[ElasticPolicy] = None
 
     def __post_init__(self) -> None:
         if self.client_mix is not None:
@@ -225,6 +242,10 @@ class SimulationConfig:
             "invariants": self.invariants,
             "arrivals": self.arrivals,
             "arrival_params": dict(self.arrival_params),
+            "calibration": (
+                self.calibration.to_dict() if self.calibration else None
+            ),
+            "elastic": self.elastic.to_dict() if self.elastic else None,
         }
 
     @classmethod
@@ -259,6 +280,8 @@ class SimulationConfig:
             ("replication", ReplicationPolicy),
             ("faults", FaultPlan),
             ("retry", RetryPolicy),
+            ("calibration", CalibrationConfig),
+            ("elastic", ElasticPolicy),
         ):
             if isinstance(data.get(key), Mapping):
                 data[key] = nested.from_dict(data[key])
@@ -333,12 +356,12 @@ class Simulation:
     ========== =====================================================
     rng        ``streams``, ``engine`` (fresh request-id space)
     demand     ``catalog``, ``popularity``
-    cluster    ``servers``
-    placement  ``placement_result``
+    cluster    ``cluster_profile``, ``servers``, ``membership``
+    placement  ``placement_result``, ``placement_policy``
     controller ``controller`` (admission front door, client profiles)
     workload   ``arrival_rate``, arrival process, ``interactivity``
     faults     ``failover``, ``retry_queue``, ``fault_injector``
-    observers  ``invariant_checker``, ``replicator``
+    observers  ``invariant_checker``, ``replicator``, ``elastic_scaler``
     ========== =====================================================
 
     The *stage_hooks* argument is the extension point: a mapping from
@@ -443,12 +466,25 @@ class Simulation:
         self.popularity = ZipfPopularity(system.n_videos, self.config.theta)
 
     def _build_cluster(self) -> None:
-        """Data servers.
+        """Data servers, calibrated capacities, membership map.
 
-        After: ``self.servers`` — fresh :class:`DataServer` objects
-        matching ``config.system``.
+        After: ``self.cluster_profile`` (measured per-server capacities
+        — the identity profile unless ``config.calibration`` runs the
+        micro-benchmark), ``self.servers`` — fresh :class:`DataServer`
+        objects carrying those profiles — and ``self.membership`` with
+        every seed server ACTIVE at epoch 0.
         """
-        self.servers = self.config.system.build_servers()
+        system = self.config.system
+        if self.config.calibration is not None:
+            self.cluster_profile: ClusterProfile = calibrate(
+                system, self.config.calibration, self.streams.get("calibrate")
+            )
+        else:
+            self.cluster_profile = identity_profile(system)
+        self.servers = system.build_servers(self.cluster_profile)
+        self.membership = ClusterMembership()
+        for server in self.servers:
+            self.membership.register(server.server_id)
 
     def _build_placement(self) -> None:
         """Static replica placement.
@@ -459,7 +495,10 @@ class Simulation:
         """
         config = self.config
         policy_cls = PLACEMENTS[config.placement]
-        self.placement_result: PlacementResult = policy_cls().allocate(
+        #: Kept for membership lifecycle hooks (warm_targets /
+        #: on_server_depart) — the elastic scaler consults it.
+        self.placement_policy = policy_cls()
+        self.placement_result: PlacementResult = self.placement_policy.allocate(
             self.catalog,
             self.popularity,
             self.servers,
@@ -523,6 +562,9 @@ class Simulation:
             admission_mode=config.admission,
             tracer=self.tracer,
         )
+        # The serve layer reaches membership through the controller
+        # (PolicyBridge exposes it; the gateway reconciles tasks on it).
+        self.controller.membership = self.membership
 
     def _build_workload(self) -> None:
         """Request generation.
@@ -627,6 +669,24 @@ class Simulation:
                 policy=config.replication,
             )
             self.controller.decision_hooks.append(self.replicator.observe)
+
+        self.elastic_scaler: Optional[ElasticScaler] = None
+        if config.elastic is not None:
+            self.elastic_scaler = ElasticScaler(
+                engine=self.engine,
+                controller=self.controller,
+                membership=self.membership,
+                placement=self.placement_result.placement,
+                catalog=self.catalog,
+                popularity=self.popularity,
+                placement_policy=self.placement_policy,
+                policy=config.elastic,
+                streams=self.streams,
+                calibration=config.calibration,
+                tracer=self.tracer,
+            )
+            self.elastic_scaler.start()
+            self.controller.decision_hooks.append(self.elastic_scaler.observe)
 
     @property
     def metrics(self) -> SimulationMetrics:
