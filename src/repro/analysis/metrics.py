@@ -78,6 +78,20 @@ class SimulationMetrics:
     #: Fault-injection accounting (``repro.faults.injector``).
     faults_injected: int = 0
 
+    #: Prefix-cache tier accounting (:mod:`repro.prefix`).  A *hit* is
+    #: an arrival whose video had a warmed prefix in the cache at
+    #: decision time, a *miss* the complement; ``chained`` counts
+    #: shared sessions admitted without a dedicated server stream,
+    #: ``patched`` the subset that additionally needed a truncated
+    #: catch-up transfer.  ``cache_megabits`` is prefix data served
+    #: from the proxy tier — deliberately *not* part of
+    #: ``total_megabits``, which measures server egress only.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    chained: int = 0
+    patched: int = 0
+    cache_megabits: float = 0.0
+
     #: Saturation attribution: how often each server was a full replica
     #: holder at the moment a request was turned away.
     rejections_per_server: Dict[int, int] = field(default_factory=dict)
@@ -107,6 +121,11 @@ class SimulationMetrics:
         self.retry_successes = 0
         self.retry_exhausted = 0
         self.faults_injected = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.chained = 0
+        self.patched = 0
+        self.cache_megabits = 0.0
         self.rejections_per_server = {}
         if self.registry is not None:
             self.registry.reset()
@@ -235,6 +254,37 @@ class SimulationMetrics:
             self.registry.counter(f"faults.{kind}").inc()
 
     # ------------------------------------------------------------------
+    # Prefix-cache tier (repro.prefix)
+    # ------------------------------------------------------------------
+    def record_cache_lookup(self, hit: bool) -> None:
+        """One arrival checked against the prefix cache."""
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        if self.registry is not None:
+            name = "cache.hits" if hit else "cache.misses"
+            self.registry.counter(name).inc()
+
+    def record_chained(self, patched: bool) -> None:
+        """One arrival admitted as a shared (chained) session."""
+        self.chained += 1
+        if patched:
+            self.patched += 1
+        if self.registry is not None:
+            self.registry.counter("cache.chained").inc()
+            if patched:
+                self.registry.counter("cache.patched").inc()
+
+    def record_cache_bytes(self, megabits: float) -> None:
+        """Prefix data served from the cache tier (not server egress)."""
+        if megabits < 0:
+            raise ValueError(f"negative transfer: {megabits}")
+        self.cache_megabits += megabits
+        if self.registry is not None:
+            self.registry.counter("cache.megabits_served").inc(megabits)
+
+    # ------------------------------------------------------------------
     # Derived measures
     # ------------------------------------------------------------------
     def utilization(self, total_bandwidth: float, duration: float) -> float:
@@ -254,6 +304,12 @@ class SimulationMetrics:
     @property
     def rejection_ratio(self) -> float:
         return self.rejected / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 with no tier)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     @property
     def distinct_arrivals(self) -> int:

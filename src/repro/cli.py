@@ -444,6 +444,7 @@ def _cmd_list() -> int:
     """
     from repro.core.elastic import SCALE_TRIGGERS, WARMERS
     from repro.core.policies import PAPER_POLICIES
+    from repro.prefix import BATCHING, PREFIX_STRATEGIES
     from repro.workload.arrivals import ARRIVALS
 
     sections = (
@@ -456,6 +457,8 @@ def _cmd_list() -> int:
         ("paper policies", PAPER_POLICIES),
         ("scale triggers", SCALE_TRIGGERS),
         ("replica warmers", WARMERS),
+        ("prefix strategies", PREFIX_STRATEGIES),
+        ("batching policies", BATCHING),
     )
     for index, (title, registry) in enumerate(sections):
         if index:

@@ -105,6 +105,12 @@ class DistributionController:
         #: Completed requests kept for post-run analysis (finished or
         #: dropped); rejected requests are only counted.
         self.completed: List[Request] = []
+        #: Optional prefix-cache / stream-sharing tier
+        #: (:class:`repro.prefix.PrefixTier`).  When set, fresh arrivals
+        #: are offered to the tier before normal admission: a chained
+        #: admission short-circuits the pipeline, a patch admission
+        #: falls through with a truncated transfer.
+        self.prefix_tier = None
         #: Per-admission observers ``(outcome, request)`` — used by the
         #: dynamic replicator, tests and trace tooling.  Append freely;
         #: hooks run in order after each decision.
@@ -154,6 +160,11 @@ class DistributionController:
                 TraceKind.REQUEST_ARRIVE, now,
                 request=request.request_id, video=video_id,
             )
+        if self.prefix_tier is not None:
+            chained = self.prefix_tier.intercept(request, now)
+            if chained is not None:
+                self._after_decision(chained, request, now)
+                return chained
         outcome = self.admission.submit(request, now)
         self._after_decision(outcome, request, now)
         return outcome
@@ -223,6 +234,8 @@ class DistributionController:
                 TraceKind.REQUEST_FINISH, now,
                 request=request.request_id, server=request.server_id,
             )
+        if self.prefix_tier is not None:
+            self.prefix_tier.on_stream_finish(request, now)
 
     def _on_allocate(self, server, requests, rates, now: float) -> None:
         """Allocator obs hook: one ``sched.realloc`` record per pass."""

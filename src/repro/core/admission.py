@@ -32,6 +32,9 @@ class AdmissionOutcome(enum.Enum):
 
     ACCEPTED = "accepted"
     ACCEPTED_WITH_MIGRATION = "accepted_with_migration"
+    #: Admitted by the prefix-cache tier as a *shared* session chained
+    #: onto a live stream (:mod:`repro.prefix`) — no server slot used.
+    ACCEPTED_CHAINED = "accepted_chained"
     REJECTED = "rejected"
     REJECTED_NO_REPLICA = "rejected_no_replica"
 
@@ -40,6 +43,7 @@ class AdmissionOutcome(enum.Enum):
         return self in (
             AdmissionOutcome.ACCEPTED,
             AdmissionOutcome.ACCEPTED_WITH_MIGRATION,
+            AdmissionOutcome.ACCEPTED_CHAINED,
         )
 
 

@@ -46,6 +46,11 @@ Experiment index (DESIGN.md §3):
   (docs/ROBUSTNESS.md; ``repro-vod chaos availability``).
 * :mod:`repro.experiments.soak` — EXT-SOAK: one invariant-checked
   chaos run (``repro-vod chaos soak``; the CI chaos gate).
+* :mod:`repro.experiments.prefix` — EXT-PREFIX: the prefix-cache /
+  stream-sharing tier gate — the with/without-tier capacity figure,
+  the cache-hit-rate-vs-θ and batching-window sweeps, and the
+  same-seed determinism digest (``repro prefix``; the CI prefix-smoke
+  gate; docs/CACHING.md).
 """
 
 import importlib

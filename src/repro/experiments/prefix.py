@@ -1,0 +1,256 @@
+"""EXT-PREFIX: the prefix-cache / stream-sharing gate — ``repro prefix``.
+
+Runs a committed scenario's ``prefix`` block (docs/CACHING.md) and
+produces the tier's headline figure plus two supporting sweeps:
+
+* the **capacity figure** — the scenario at its (≥100%) offered load
+  with the configured tier versus the ``none``-strategy/no-chaining
+  baseline, same seed.  The tier's rejection rate must be *strictly*
+  below the baseline's, and chained sessions must record zero
+  underruns;
+* the **hit-rate sweep** — cache hit rate across Zipf θ values (skew
+  helps a popularity-ranked cache; uniform demand dilutes it);
+* the **window sweep** — shared/chained sessions and rejection rate
+  across batching windows (bigger windows share more, bounded by the
+  cached prefix length under ``window`` batching);
+* the **determinism digest** — the whole report is computed twice at
+  the same seed; the two canonical-JSON digests must be byte-identical
+  (the CI prefix-smoke job's gate).
+
+Any audit failure exits 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.registry import ExperimentSpec, register
+from repro.scenario import load_scenario
+from repro.simulation import SimulationConfig, run_simulation
+
+#: Default committed scenario (see scenarios/prefix_zipf_overload.json).
+DEFAULT_SCENARIO = "scenarios/prefix_zipf_overload.json"
+
+#: Default sweep grids (overridable via --thetas / --windows).
+DEFAULT_THETAS = (-1.0, -0.5, 0.0, 0.5, 1.0)
+DEFAULT_WINDOWS = (0.0, 10.0, 20.0, 45.0, 90.0)
+
+
+def result_row(result) -> Dict[str, Any]:
+    """The deterministic slice of one run's results (digest input)."""
+    return {
+        "arrivals": result.arrivals,
+        "accepted": result.accepted,
+        "rejected": result.rejected,
+        "rejection_ratio": round(result.rejection_ratio, 9),
+        "finished": result.finished,
+        "dropped": result.dropped,
+        "underruns": result.underruns,
+        "chained": result.chained,
+        "patched": result.patched,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "cache_hit_rate": round(result.cache_hit_rate, 9),
+        "cache_megabits": round(result.cache_megabits, 6),
+        "chain_underruns": result.chain_underruns,
+        "megabits_sent": round(result.megabits_sent, 6),
+    }
+
+
+def baseline_config(config: SimulationConfig) -> SimulationConfig:
+    """The same run without the tier (the figure's 'without' side)."""
+    return dataclasses.replace(config, prefix=None)
+
+
+def run_report(
+    config: SimulationConfig,
+    thetas: List[float],
+    windows: List[float],
+) -> Dict[str, Any]:
+    """One full (deterministic) evaluation of the scenario config."""
+    with_tier = result_row(run_simulation(config))
+    without = result_row(run_simulation(baseline_config(config)))
+    hit_rate = [
+        {
+            "theta": theta,
+            **result_row(
+                run_simulation(dataclasses.replace(config, theta=theta))
+            ),
+        }
+        for theta in thetas
+    ]
+    window_sweep = [
+        {
+            "window_seconds": window,
+            **result_row(run_simulation(dataclasses.replace(
+                config,
+                prefix=dataclasses.replace(
+                    config.prefix, window_seconds=window
+                ),
+            ))),
+        }
+        for window in windows
+    ]
+    return {
+        "figure": {"with_tier": with_tier, "without_tier": without},
+        "hit_rate_vs_theta": hit_rate,
+        "window_sweep": window_sweep,
+    }
+
+
+def report_digest(report: Dict[str, Any]) -> str:
+    """Canonical-JSON SHA-256 of a report (the determinism gate)."""
+    canonical = json.dumps(report, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def render_figure(report: Dict[str, Any], load: float) -> List[str]:
+    """The headline figure as plain text lines."""
+    with_tier = report["figure"]["with_tier"]
+    without = report["figure"]["without_tier"]
+    lines = [
+        f"capacity at {load:.0%} offered load (rejection rate):",
+        f"  {'':14}{'arrivals':>9} {'rejected':>9} {'rej rate':>9} "
+        f"{'chained':>8}",
+    ]
+    for label, row in (("with tier", with_tier), ("without tier", without)):
+        lines.append(
+            f"  {label:<14}{row['arrivals']:>9} {row['rejected']:>9} "
+            f"{row['rejection_ratio']:>9.4f} {row['chained']:>8}"
+        )
+    return lines
+
+
+def audit(report: Dict[str, Any], digests: List[str]) -> List[str]:
+    """The gate: every way a prefix run can fail, as messages."""
+    problems: List[str] = []
+    with_tier = report["figure"]["with_tier"]
+    without = report["figure"]["without_tier"]
+    if not with_tier["rejection_ratio"] < without["rejection_ratio"]:
+        problems.append(
+            f"tier did not beat the baseline: rejection "
+            f"{with_tier['rejection_ratio']:.4f} (with) vs "
+            f"{without['rejection_ratio']:.4f} (without) — the capacity "
+            f"figure needs a strict improvement"
+        )
+    if not with_tier["chained"]:
+        problems.append(
+            "no session was ever chained — the batching window or the "
+            "cache never engaged (check the scenario's prefix block)"
+        )
+    for name, rows in (
+        ("figure", [with_tier, without]),
+        ("hit_rate_vs_theta", report["hit_rate_vs_theta"]),
+        ("window_sweep", report["window_sweep"]),
+    ):
+        underruns = sum(r["chain_underruns"] for r in rows)
+        if underruns:
+            problems.append(
+                f"{name}: {underruns} chained-session underrun(s) — a "
+                f"shared feed fell behind its playout"
+            )
+    if len(set(digests)) != 1:
+        problems.append(
+            f"same-seed reports diverged: digests {digests} — the tier "
+            f"broke run determinism"
+        )
+    return problems
+
+
+def run_prefix_cli(args, progress) -> int:
+    """Run the prefix gate over one scenario; audit and report."""
+    scenario = load_scenario(args.scenario)
+    config = scenario.config
+    if config.prefix is None:
+        print(
+            f"repro prefix: scenario {scenario.name!r} has no prefix "
+            f"block",
+            file=sys.stderr,
+        )
+        return 2
+    thetas = args.thetas if args.thetas else list(DEFAULT_THETAS)
+    windows = args.windows if args.windows else list(DEFAULT_WINDOWS)
+    reports = []
+    digests = []
+    for attempt in (1, 2):
+        report = run_report(config, thetas, windows)
+        reports.append(report)
+        digests.append(report_digest(report))
+        progress(
+            f"prefix pass {attempt}/2: digest {digests[-1][:12]}, "
+            f"rejection {report['figure']['with_tier']['rejection_ratio']:.4f} "
+            f"(with) vs "
+            f"{report['figure']['without_tier']['rejection_ratio']:.4f} "
+            f"(without)"
+        )
+    report = reports[0]
+    failures = audit(report, digests)
+    for line in render_figure(report, config.load):
+        print(line)
+    rendered = json.dumps(
+        {
+            "scenario": scenario.name,
+            "digests": digests,
+            "deterministic": len(set(digests)) == 1,
+            "failures": failures,
+            "report": report,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+    print(rendered)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered + "\n")
+    for failure in failures:
+        print(f"PREFIX FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# CLI self-registration (see repro.experiments.registry)
+# ----------------------------------------------------------------------
+def _floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _cli_arguments(parser) -> None:
+    parser.add_argument(
+        "scenario", nargs="?", default=DEFAULT_SCENARIO,
+        help=f"scenario JSON with a prefix block "
+             f"(default {DEFAULT_SCENARIO})",
+    )
+    parser.add_argument(
+        "--thetas", type=_floats, default=None, metavar="T1,T2,...",
+        help="Zipf θ grid for the hit-rate sweep "
+             f"(default {','.join(map(str, DEFAULT_THETAS))})",
+    )
+    parser.add_argument(
+        "--windows", type=_floats, default=None, metavar="W1,W2,...",
+        help="batching-window grid (seconds) for the window sweep "
+             f"(default {','.join(map(str, DEFAULT_WINDOWS))})",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON report to PATH (the CI artifact)",
+    )
+
+
+register(ExperimentSpec(
+    name="prefix",
+    help="prefix-cache / stream-sharing gate: run a scenario with the "
+         "tier and the no-tier baseline at the same (>=100%%) offered "
+         "load, sweep cache hit rate over Zipf θ and sharing over the "
+         "batching window; the tier must strictly beat the baseline's "
+         "rejection rate with zero chained-session underruns, and two "
+         "same-seed passes must produce byte-identical reports (exit 1 "
+         "on any failure)",
+    run_cli=run_prefix_cli,
+    add_arguments=_cli_arguments,
+    bare=True,
+    order=97,
+))

@@ -74,6 +74,11 @@ class TraceKind(str, enum.Enum):
     TASK_TRIP = "task.trip"
     TASK_RESTART = "task.restart"
 
+    # -- prefix-cache / stream-sharing tier (repro.prefix) -----------
+    CACHE_WARM = "cache.warm"
+    CACHE_CHAIN = "cache.chain"
+    CACHE_MERGE = "cache.merge"
+
     # -- scheduler / stream dynamics ---------------------------------
     SCHED_REALLOC = "sched.realloc"
     STREAM_BUFFER_FULL = "stream.buffer_full"
@@ -119,6 +124,10 @@ KIND_FIELDS: Dict[TraceKind, tuple] = {
                                 "dump_seq"),
     TraceKind.TASK_TRIP: ("task", "error", "detail", "restarting"),
     TraceKind.TASK_RESTART: ("task", "restarts"),
+    TraceKind.CACHE_WARM: ("video", "prefix_mb", "seconds"),
+    TraceKind.CACHE_CHAIN: ("request", "parent", "video", "gap",
+                            "prefix_mb", "patch_mb"),
+    TraceKind.CACHE_MERGE: ("request", "parent", "video"),
     TraceKind.SCHED_REALLOC: ("server", "allocator", "streams", "boosted"),
     TraceKind.STREAM_BUFFER_FULL: ("request", "server"),
     TraceKind.STREAM_UNDERRUN: ("request", "server"),

@@ -1,0 +1,28 @@
+"""Prefix-cache & stream-sharing tier (proxy between admission and
+data servers).
+
+The tier holds the first ``prefix_seconds`` of selected videos
+(:mod:`repro.prefix.cache`, strategies in :data:`PREFIX_STRATEGIES`)
+and chains closely-spaced requests for the same video onto one server
+stream (:mod:`repro.prefix.chaining`, policies in :data:`BATCHING`),
+so a burst of viewers costs one stream plus — at most — short
+catch-up patches.  :class:`PrefixPolicy` is the config block;
+:class:`PrefixTier` the runtime wired in by the ``prefix`` build stage
+of :class:`repro.simulation.Simulation`.
+
+Design, merge math and the add-a-strategy recipe: ``docs/CACHING.md``.
+"""
+
+from repro.prefix.cache import PREFIX_STRATEGIES, PrefixCache
+from repro.prefix.chaining import BATCHING, ChainedSession, ChainPlan
+from repro.prefix.tier import PrefixPolicy, PrefixTier
+
+__all__ = [
+    "BATCHING",
+    "ChainPlan",
+    "ChainedSession",
+    "PREFIX_STRATEGIES",
+    "PrefixCache",
+    "PrefixPolicy",
+    "PrefixTier",
+]

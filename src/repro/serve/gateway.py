@@ -213,6 +213,13 @@ class ClusterGateway:
             Callable[[asyncio.StreamWriter], asyncio.StreamWriter]
         ] = None,
     ) -> None:
+        if config.prefix is not None and config.prefix.batching != "none":
+            raise ValueError(
+                "the live gateway cannot serve chained sessions (a "
+                "chained admission has no server stream for the pacing "
+                "loop to drain); use prefix batching='none' for "
+                "cache-only operation, or run the scenario virtually"
+            )
         self.config = config
         self.serve = serve if serve is not None else ServeConfig()
         self.tracer = tracer
@@ -991,7 +998,13 @@ class ClusterGateway:
             },
             membership_epoch=self._membership_epoch,
             servers=self._server_rows(),
+            cache=self._cache_stats(),
         )
+
+    def _cache_stats(self) -> Optional[Dict[str, Any]]:
+        """Prefix-tier stats dict, or None when the tier is off."""
+        tier = getattr(self.bridge.sim, "prefix_tier", None)
+        return tier.stats() if tier is not None else None
 
     # -- ops verb bodies (framed by repro.serve.ops) -------------------
     def ops_stats(self) -> Dict[str, Any]:
@@ -1010,6 +1023,7 @@ class ClusterGateway:
             "anchored": self.clock.anchored,
             "draining": self._draining,
             "decisions": len(self.bridge.decisions),
+            "cache": self._cache_stats(),
             "metrics": self.registry.snapshot(),
         }
 
@@ -1047,6 +1061,7 @@ class ClusterGateway:
                 if self._membership() is not None
                 else None
             ),
+            "cache": self._cache_stats(),
             "servers": self._server_rows(),
         }
 

@@ -165,6 +165,18 @@ def render_top(
         f"p99 {_fmt(latency.get('p99'), ' ms')}"
     )
 
+    cache = sample.get("cache") or {}
+    if cache:
+        hits = int(cache.get("hits", 0))
+        misses = int(cache.get("misses", 0))
+        lines.append(
+            f"cache     hit rate {float(cache.get('hit_rate', 0.0)):.2%} "
+            f"({hits}/{hits + misses})   "
+            f"held {float(cache.get('bytes_held_mb', 0.0)):.0f} Mb   "
+            f"chained {int(cache.get('chained_active', 0))} live "
+            f"/ {int(cache.get('chained', 0))} total"
+        )
+
     # Elastic membership: health samples carry the full ledger, trace
     # samples just the epoch (+ per-row lifecycle states below).
     membership = sample.get("membership") or {}

@@ -57,6 +57,7 @@ from repro.faults import (
 )
 from repro.placement import PLACEMENTS
 from repro.placement.base import PlacementResult
+from repro.prefix import PrefixPolicy, PrefixTier
 from repro.serialize import check_fields
 from repro.sim.engine import Engine
 from repro.sim.rng import RandomStreams
@@ -121,6 +122,12 @@ class SimulationConfig:
         elastic: elastic membership schedule/trigger
             (:class:`repro.core.elastic.ElasticPolicy`); ``None``
             (default) freezes membership, as in the paper.
+        prefix: prefix-cache / stream-sharing tier configuration
+            (:class:`repro.prefix.PrefixPolicy`); ``None`` (default)
+            sends every arrival straight to normal admission, as in
+            the paper.  Incompatible with VCR interactivity
+            (``pause_hazard > 0``) — a paused parent would stall the
+            playout-relay schedule chained sessions depend on.
     """
 
     system: SystemConfig
@@ -146,8 +153,15 @@ class SimulationConfig:
     arrival_params: Tuple[Tuple[str, float], ...] = ()
     calibration: Optional[CalibrationConfig] = None
     elastic: Optional[ElasticPolicy] = None
+    prefix: Optional[PrefixPolicy] = None
 
     def __post_init__(self) -> None:
+        if self.prefix is not None and self.pause_hazard > 0:
+            raise ValueError(
+                "prefix tier and VCR interactivity are incompatible: "
+                "a paused parent stalls the playout relay chained "
+                "sessions depend on (set pause_hazard=0 or prefix=None)"
+            )
         if self.client_mix is not None:
             if not self.client_mix:
                 raise ValueError("client_mix must have at least one class")
@@ -246,6 +260,7 @@ class SimulationConfig:
                 self.calibration.to_dict() if self.calibration else None
             ),
             "elastic": self.elastic.to_dict() if self.elastic else None,
+            "prefix": self.prefix.to_dict() if self.prefix else None,
         }
 
     @classmethod
@@ -282,6 +297,7 @@ class SimulationConfig:
             ("retry", RetryPolicy),
             ("calibration", CalibrationConfig),
             ("elastic", ElasticPolicy),
+            ("prefix", PrefixPolicy),
         ):
             if isinstance(data.get(key), Mapping):
                 data[key] = nested.from_dict(data[key])
@@ -327,6 +343,15 @@ class SimulationResult:
     retry_pending: int = 0
     faults_injected: int = 0
     availability: float = 1.0
+    #: Prefix-cache / stream-sharing tier measures (zero when the tier
+    #: is off — see :mod:`repro.prefix`).
+    chained: int = 0
+    patched: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    cache_megabits: float = 0.0
+    chain_underruns: int = 0
     #: Who/what produced this run (seed, version, config hash, REPRO_*
     #: env) — see :func:`repro.obs.provenance.run_provenance`.  Carries
     #: a timestamp, so it is excluded from equality comparisons.
@@ -359,6 +384,7 @@ class Simulation:
     cluster    ``cluster_profile``, ``servers``, ``membership``
     placement  ``placement_result``, ``placement_policy``
     controller ``controller`` (admission front door, client profiles)
+    prefix     ``prefix_tier`` (cache + chaining, warming scheduled)
     workload   ``arrival_rate``, arrival process, ``interactivity``
     faults     ``failover``, ``retry_queue``, ``fault_injector``
     observers  ``invariant_checker``, ``replicator``, ``elastic_scaler``
@@ -390,6 +416,7 @@ class Simulation:
         "cluster",
         "placement",
         "controller",
+        "prefix",
         "workload",
         "faults",
         "observers",
@@ -566,6 +593,32 @@ class Simulation:
         # (PolicyBridge exposes it; the gateway reconciles tasks on it).
         self.controller.membership = self.membership
 
+    def _build_prefix(self) -> None:
+        """Prefix-cache / stream-sharing tier (repro.prefix).
+
+        After: ``self.prefix_tier`` — wired into the controller's front
+        door and decision stream with cache warming scheduled — or None
+        when ``config.prefix`` is unset.
+        """
+        config = self.config
+        self.prefix_tier: Optional[PrefixTier] = None
+        if config.prefix is None:
+            return
+        self.prefix_tier = PrefixTier(
+            engine=self.engine,
+            controller=self.controller,
+            catalog=self.catalog,
+            popularity=self.popularity,
+            placement=self.placement_result.placement,
+            placement_policy=self.placement_policy,
+            policy=config.prefix,
+            strict=config.invariants or obs.env_invariants_enabled(),
+            tracer=self.tracer,
+        )
+        self.controller.prefix_tier = self.prefix_tier
+        self.controller.decision_hooks.append(self.prefix_tier.observe)
+        self.prefix_tier.start()
+
     def _build_workload(self) -> None:
         """Request generation.
 
@@ -688,6 +741,11 @@ class Simulation:
             self.elastic_scaler.start()
             self.controller.decision_hooks.append(self.elastic_scaler.observe)
 
+        if self.prefix_tier is not None and self.failover is not None:
+            # Sever / cascade chained sessions when a parent stream is
+            # lost to a failure.
+            self.failover.on_drop.append(self.prefix_tier.on_stream_drop)
+
     @property
     def metrics(self) -> SimulationMetrics:
         return self.controller.metrics
@@ -717,6 +775,8 @@ class Simulation:
         self._arrivals.stop()
         if self.invariant_checker is not None:
             self.invariant_checker.check_now()
+        if self.prefix_tier is not None:
+            self.prefix_tier.check_invariants(cfg.duration)
         self.controller.finalize(cfg.duration)
         provenance = obs.run_provenance(seed=cfg.seed, config=cfg)
         if self.tracer is not None and self._trace_path is not None:
@@ -754,6 +814,15 @@ class Simulation:
             retry_pending=pending,
             faults_injected=metrics.faults_injected,
             availability=metrics.availability(pending_retries=pending),
+            chained=metrics.chained,
+            patched=metrics.patched,
+            cache_hits=metrics.cache_hits,
+            cache_misses=metrics.cache_misses,
+            cache_hit_rate=metrics.cache_hit_rate,
+            cache_megabits=metrics.cache_megabits,
+            chain_underruns=(
+                self.prefix_tier.chain_underruns if self.prefix_tier else 0
+            ),
             provenance=provenance,
         )
 

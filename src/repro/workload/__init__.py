@@ -22,7 +22,7 @@ from repro.workload.arrivals import (
 )
 from repro.workload.catalog import Video, VideoCatalog, make_catalog
 from repro.workload.trace import RequestSpec, Trace, generate_trace
-from repro.workload.zipf import ZipfPopularity
+from repro.workload.zipf import ZipfPopularity, popularity_ranks
 
 __all__ = [
     "PoissonArrivalProcess",
@@ -35,4 +35,5 @@ __all__ = [
     "generate_trace",
     "make_catalog",
     "offered_load",
+    "popularity_ranks",
 ]

@@ -89,6 +89,23 @@ class VideoCatalog:
         """Sum of all single-copy sizes (Mb)."""
         return float(self.sizes.sum())
 
+    def prefix_sizes(self, prefix_seconds: float) -> np.ndarray:
+        """Per-video size (Mb) of the first *prefix_seconds*, catalog order.
+
+        A short video contributes its whole size — a prefix is never
+        larger than the title it fronts.  Used by the prefix-cache tier
+        (:mod:`repro.prefix`) to budget its bounded capacity.
+        """
+        if prefix_seconds <= 0:
+            raise ValueError(
+                f"prefix_seconds must be positive, got {prefix_seconds}"
+            )
+        clipped = np.minimum(self.lengths, float(prefix_seconds))
+        bandwidths = np.array(
+            [v.view_bandwidth for v in self.videos], dtype=np.float64
+        )
+        return clipped * bandwidths
+
 
 def make_catalog(
     n_videos: int,

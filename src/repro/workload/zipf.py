@@ -23,6 +23,30 @@ from typing import Optional, Sequence
 import numpy as np
 
 
+def popularity_ranks(n: int, theta: float) -> np.ndarray:
+    """Normalised demand probabilities for ranks 1…n, in rank order.
+
+    The single source of popularity truth: the catalog convention
+    (video id = rank), the arrival process (:class:`ZipfPopularity`)
+    and the prefix-cache strategies (:mod:`repro.prefix`) all derive
+    their weights from this one function instead of recomputing
+    ``c / i**(1 - theta)`` independently.
+
+    Args:
+        n: catalog size (>= 1).
+        theta: the paper's skew parameter; exponent is ``1 - theta``.
+
+    Returns:
+        Length-``n`` float64 vector summing to 1; index 0 is rank 1
+        (the most popular title).
+    """
+    if n < 1:
+        raise ValueError(f"catalog size must be >= 1, got {n}")
+    ranks = np.arange(1, int(n) + 1, dtype=np.float64)
+    weights = ranks ** -(1.0 - float(theta))
+    return weights / weights.sum()
+
+
 class ZipfPopularity:
     """Zipf-like demand over ``n`` items, ranks 1 (hottest) … n (coldest).
 
@@ -40,9 +64,7 @@ class ZipfPopularity:
             raise ValueError(f"catalog size must be >= 1, got {n}")
         self.n = int(n)
         self.theta = float(theta)
-        ranks = np.arange(1, self.n + 1, dtype=np.float64)
-        weights = ranks ** -(1.0 - self.theta)
-        self.probabilities = weights / weights.sum()
+        self.probabilities = popularity_ranks(self.n, self.theta)
         # Cumulative distribution for O(log n) inverse-CDF sampling.
         self._cdf = np.cumsum(self.probabilities)
         self._cdf[-1] = 1.0  # guard against rounding
